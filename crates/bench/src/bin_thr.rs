@@ -1,0 +1,21 @@
+use sdr_wcdma::xpp_map::ArrayMultiplexedDespreader;
+use sdr_dsp::Cplx;
+
+fn chips(n: usize, seed: i32) -> Vec<Cplx<i32>> {
+    (0..n as i32).map(|i| Cplx::new(((i*131+seed*7)%8191)-4095, ((i*57+seed*13)%8191)-4095)).collect()
+}
+
+fn run(fingers: usize, sf: usize, nsym: usize) -> (u64, u64) {
+    let streams: Vec<Vec<Cplx<i32>>> = (0..fingers).map(|f| chips(sf*nsym, f as i32)).collect();
+    let mut hw = ArrayMultiplexedDespreader::new(fingers, sf, 5).unwrap();
+    let before = hw.array().stats().cycles;
+    hw.process(&streams).unwrap();
+    ((fingers*sf*nsym) as u64, hw.array().stats().cycles - before)
+}
+
+fn main() {
+    for nsym in [4usize, 8, 16] {
+        let (tokens, cycles) = run(8, 32, nsym);
+        println!("tokens={tokens} cycles={cycles} ratio={:.3}", cycles as f64/tokens as f64);
+    }
+}

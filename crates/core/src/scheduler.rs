@@ -1,0 +1,222 @@
+//! Time-sliced multi-standard scheduling.
+//!
+//! "A multi-standard, multi-link wireless terminal must provide the
+//! capability of handling at least these protocols simultaneously. By
+//! time-slicing the processing of both protocols over the same hardware, a
+//! large savings in the resources required can be achieved" (paper §3).
+//!
+//! The scheduler is a preemptive earliest-deadline-first simulator over
+//! periodic jobs measured in array clock cycles; the experiments feed it
+//! the *measured* kernel cycle counts from the array simulator.
+
+/// A periodic processing job (e.g. "one W-CDMA slot of rake processing",
+/// "one OFDM symbol through the FFT").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Job {
+    /// Job name.
+    pub name: String,
+    /// Execution demand per period, in cycles.
+    pub cycles: u64,
+    /// Release period (= relative deadline), in cycles.
+    pub period: u64,
+}
+
+impl Job {
+    /// Creates a job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the period is zero or the demand exceeds the period is
+    /// allowed (it will simply miss deadlines).
+    pub fn new(name: impl Into<String>, cycles: u64, period: u64) -> Self {
+        assert!(period > 0, "job period must be positive");
+        Job { name: name.into(), cycles, period }
+    }
+
+    /// The job's long-run utilization share.
+    pub fn utilization(&self) -> f64 {
+        self.cycles as f64 / self.period as f64
+    }
+}
+
+/// One contiguous execution slice in the schedule timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Slice {
+    /// Index into the job set.
+    pub job: usize,
+    /// Start cycle.
+    pub start: u64,
+    /// Length in cycles.
+    pub len: u64,
+}
+
+/// A missed deadline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadlineMiss {
+    /// Index into the job set.
+    pub job: usize,
+    /// Which period instance missed.
+    pub instance: u64,
+    /// Cycles of work still outstanding at the deadline.
+    pub remaining: u64,
+}
+
+/// The outcome of a scheduling run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleReport {
+    /// Simulated horizon in cycles.
+    pub horizon: u64,
+    /// Busy cycles.
+    pub busy: u64,
+    /// Execution timeline.
+    pub timeline: Vec<Slice>,
+    /// Deadline misses (empty = schedulable over the horizon).
+    pub misses: Vec<DeadlineMiss>,
+}
+
+impl ScheduleReport {
+    /// Fraction of the horizon spent executing.
+    pub fn utilization(&self) -> f64 {
+        if self.horizon == 0 {
+            0.0
+        } else {
+            self.busy as f64 / self.horizon as f64
+        }
+    }
+
+    /// True if no deadline was missed.
+    pub fn feasible(&self) -> bool {
+        self.misses.is_empty()
+    }
+}
+
+/// Simulates preemptive EDF over `horizon` cycles.
+///
+/// # Panics
+///
+/// Panics if the job set is empty.
+pub fn schedule_edf(jobs: &[Job], horizon: u64) -> ScheduleReport {
+    assert!(!jobs.is_empty(), "schedule_edf: empty job set");
+    #[derive(Debug)]
+    struct Active {
+        job: usize,
+        deadline: u64,
+        remaining: u64,
+        instance: u64,
+    }
+    let mut active: Vec<Active> = Vec::new();
+    let mut next_release: Vec<u64> = vec![0; jobs.len()];
+    let mut next_instance: Vec<u64> = vec![0; jobs.len()];
+    let mut timeline: Vec<Slice> = Vec::new();
+    let mut misses = Vec::new();
+    let mut busy = 0u64;
+    let mut t = 0u64;
+
+    while t < horizon {
+        // Release any jobs due at or before t.
+        for (j, job) in jobs.iter().enumerate() {
+            while next_release[j] <= t {
+                active.push(Active {
+                    job: j,
+                    deadline: next_release[j] + job.period,
+                    remaining: job.cycles,
+                    instance: next_instance[j],
+                });
+                next_release[j] += job.period;
+                next_instance[j] += 1;
+            }
+        }
+        // Earliest deadline first.
+        active.sort_by_key(|a| a.deadline);
+        let next_event = next_release.iter().copied().min().unwrap_or(horizon).min(horizon);
+        if let Some(current) = active.first_mut() {
+            // Run until completion, the next release, or the deadline.
+            let slice_end = next_event.min(current.deadline).min(t + current.remaining);
+            let len = slice_end.saturating_sub(t);
+            if len > 0 {
+                current.remaining -= len;
+                busy += len;
+                match timeline.last_mut() {
+                    Some(last) if last.job == current.job && last.start + last.len == t => {
+                        last.len += len;
+                    }
+                    _ => timeline.push(Slice { job: current.job, start: t, len }),
+                }
+                t = slice_end;
+            }
+            if current.remaining == 0 {
+                active.remove(0);
+            } else if t >= current.deadline {
+                misses.push(DeadlineMiss {
+                    job: current.job,
+                    instance: current.instance,
+                    remaining: current.remaining,
+                });
+                active.remove(0); // drop the overrun instance
+            }
+        } else {
+            t = next_event; // idle until the next release
+        }
+    }
+    ScheduleReport { horizon, busy, timeline, misses }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_job_fills_its_share() {
+        let jobs = vec![Job::new("rake", 300, 1000)];
+        let r = schedule_edf(&jobs, 10_000);
+        assert!(r.feasible());
+        assert!((r.utilization() - 0.3).abs() < 0.01);
+    }
+
+    #[test]
+    fn two_jobs_interleave_feasibly() {
+        // Combined utilization 0.85 < 1 → EDF schedules it.
+        let jobs = vec![Job::new("umts-slot", 500, 1000), Job::new("wlan-symbol", 70, 200)];
+        let r = schedule_edf(&jobs, 20_000);
+        assert!(r.feasible(), "misses: {:?}", r.misses);
+        assert!((r.utilization() - 0.85).abs() < 0.02);
+        // Both jobs actually appear in the timeline.
+        assert!(r.timeline.iter().any(|s| s.job == 0));
+        assert!(r.timeline.iter().any(|s| s.job == 1));
+    }
+
+    #[test]
+    fn overload_misses_deadlines() {
+        let jobs = vec![Job::new("a", 800, 1000), Job::new("b", 500, 1000)];
+        let r = schedule_edf(&jobs, 10_000);
+        assert!(!r.feasible());
+        assert!(!r.misses.is_empty());
+    }
+
+    #[test]
+    fn utilization_sum_predicts_feasibility_at_boundary() {
+        let jobs = vec![Job::new("a", 500, 1000), Job::new("b", 250, 500)];
+        let total: f64 = jobs.iter().map(Job::utilization).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        let r = schedule_edf(&jobs, 50_000);
+        assert!(r.feasible(), "EDF schedules exactly-full sets: {:?}", r.misses);
+        assert!(r.utilization() > 0.99);
+    }
+
+    #[test]
+    fn timeline_slices_are_contiguous_and_ordered() {
+        let jobs = vec![Job::new("a", 3, 10), Job::new("b", 4, 7)];
+        let r = schedule_edf(&jobs, 1_000);
+        for w in r.timeline.windows(2) {
+            assert!(w[0].start + w[0].len <= w[1].start);
+        }
+        let busy: u64 = r.timeline.iter().map(|s| s.len).sum();
+        assert_eq!(busy, r.busy);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_job_set_rejected() {
+        schedule_edf(&[], 100);
+    }
+}

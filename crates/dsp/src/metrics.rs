@@ -1,0 +1,174 @@
+//! Measurement helpers for the experiments: BER, SNR and EVM.
+
+use crate::complex::Cplx;
+
+/// Accumulates bit-error statistics across many blocks.
+///
+/// # Example
+///
+/// ```
+/// use sdr_dsp::metrics::BerCounter;
+///
+/// let mut ber = BerCounter::new();
+/// ber.update(&[0, 1, 1, 0], &[0, 1, 0, 0]);
+/// assert_eq!(ber.errors(), 1);
+/// assert_eq!(ber.total(), 4);
+/// assert!((ber.ber() - 0.25).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BerCounter {
+    errors: u64,
+    total: u64,
+}
+
+impl BerCounter {
+    /// Creates an empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Compares transmitted and received bits and accumulates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    pub fn update(&mut self, tx: &[u8], rx: &[u8]) {
+        assert_eq!(tx.len(), rx.len(), "ber: length mismatch");
+        self.errors += tx.iter().zip(rx).filter(|(a, b)| a != b).count() as u64;
+        self.total += tx.len() as u64;
+    }
+
+    /// Number of bit errors observed.
+    pub fn errors(&self) -> u64 {
+        self.errors
+    }
+
+    /// Number of bits compared.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The bit error rate (0 if nothing was counted).
+    pub fn ber(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.errors as f64 / self.total as f64
+        }
+    }
+
+    /// Merges another counter into this one.
+    pub fn merge(&mut self, other: BerCounter) {
+        self.errors += other.errors;
+        self.total += other.total;
+    }
+}
+
+/// Signal-to-noise ratio in dB between a reference and a measured stream:
+/// `10·log10(Σ|ref|² / Σ|ref − meas|²)`.
+///
+/// Returns `f64::INFINITY` when the streams are identical.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn snr_db(reference: &[Cplx<f64>], measured: &[Cplx<f64>]) -> f64 {
+    assert_eq!(reference.len(), measured.len());
+    assert!(!reference.is_empty());
+    let sig: f64 = reference.iter().map(|v| v.sqmag()).sum();
+    let err: f64 = reference
+        .iter()
+        .zip(measured)
+        .map(|(r, m)| (*r - *m).sqmag())
+        .sum();
+    if err == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (sig / err).log10()
+    }
+}
+
+/// Error-vector magnitude (RMS, as a fraction of RMS reference magnitude).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn evm_rms(reference: &[Cplx<f64>], measured: &[Cplx<f64>]) -> f64 {
+    assert_eq!(reference.len(), measured.len());
+    assert!(!reference.is_empty());
+    let sig: f64 = reference.iter().map(|v| v.sqmag()).sum();
+    let err: f64 = reference
+        .iter()
+        .zip(measured)
+        .map(|(r, m)| (*r - *m).sqmag())
+        .sum();
+    (err / sig).sqrt()
+}
+
+/// Mean squared error between integer complex streams, in 64-bit.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn mse_i32(a: &[Cplx<i32>], b: &[Cplx<i32>]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    assert!(!a.is_empty());
+    let sum: i64 = a.iter().zip(b).map(|(x, y)| (*x - *y).sqmag()).sum();
+    sum as f64 / a.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ber_counts_and_merges() {
+        let mut a = BerCounter::new();
+        a.update(&[0, 0, 1], &[1, 0, 1]);
+        let mut b = BerCounter::new();
+        b.update(&[1, 1], &[0, 0]);
+        a.merge(b);
+        assert_eq!(a.errors(), 3);
+        assert_eq!(a.total(), 5);
+    }
+
+    #[test]
+    fn ber_empty_is_zero() {
+        assert_eq!(BerCounter::new().ber(), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ber_rejects_mismatched_lengths() {
+        BerCounter::new().update(&[0], &[0, 1]);
+    }
+
+    #[test]
+    fn snr_identical_is_infinite() {
+        let x = vec![Cplx::new(1.0, -1.0); 8];
+        assert!(snr_db(&x, &x).is_infinite());
+    }
+
+    #[test]
+    fn snr_known_value() {
+        let r = vec![Cplx::new(1.0, 0.0); 10];
+        let m: Vec<_> = r.iter().map(|v| *v + Cplx::new(0.1, 0.0)).collect();
+        let snr = snr_db(&r, &m);
+        assert!((snr - 20.0).abs() < 1e-9, "snr {snr}");
+    }
+
+    #[test]
+    fn evm_scales_with_error() {
+        let r = vec![Cplx::new(2.0, 0.0); 4];
+        let m: Vec<_> = r.iter().map(|v| *v + Cplx::new(0.0, 0.2)).collect();
+        assert!((evm_rms(&r, &m) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mse_zero_for_identical() {
+        let x = vec![Cplx::new(5, 5); 3];
+        assert_eq!(mse_i32(&x, &x), 0.0);
+        let y = vec![Cplx::new(5, 6); 3];
+        assert_eq!(mse_i32(&x, &y), 1.0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests for the arithmetic core.
+
+use proptest::prelude::*;
+use sdr_dsp::bits::{pack_lsb_first, unpack_lsb_first, Lfsr};
+use sdr_dsp::fft::{dft, fft, ifft, Fft64Fixed};
+use sdr_dsp::fixed::{dequantize, fits, quantize, sat, shr_round, wrap};
+use sdr_dsp::Cplx;
+
+fn arb_cplx_i32(limit: i32) -> impl Strategy<Value = Cplx<i32>> {
+    (-limit..=limit, -limit..=limit).prop_map(|(re, im)| Cplx::new(re, im))
+}
+
+proptest! {
+    #[test]
+    fn cplx_mul_commutes(a in arb_cplx_i32(1 << 11), b in arb_cplx_i32(1 << 11)) {
+        prop_assert_eq!(a * b, b * a);
+    }
+
+    #[test]
+    fn cplx_mul_distributes(a in arb_cplx_i32(1 << 9), b in arb_cplx_i32(1 << 9), c in arb_cplx_i32(1 << 9)) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn conj_of_product_is_product_of_conj(a in arb_cplx_i32(1 << 11), b in arb_cplx_i32(1 << 11)) {
+        prop_assert_eq!((a * b).conj(), a.conj() * b.conj());
+    }
+
+    #[test]
+    fn sqmag_multiplicative(a in arb_cplx_i32(1 << 10), b in arb_cplx_i32(1 << 10)) {
+        // |ab|² = |a|²·|b|² (exact for integers within range).
+        prop_assert_eq!((a * b).sqmag(), a.sqmag() * b.sqmag());
+    }
+
+    #[test]
+    fn cmul_shr_matches_widened_mul(a in arb_cplx_i32(1 << 20), b in arb_cplx_i32(1 << 20), s in 0u32..24) {
+        let full = a.widen() * b.widen();
+        let shifted = full.shr(s);
+        prop_assert_eq!(a.cmul_shr(b, s), shifted.narrow());
+    }
+
+    #[test]
+    fn sat_is_idempotent(v in any::<i64>(), bits in 1u32..=31) {
+        let once = sat(v, bits) as i64;
+        prop_assert_eq!(sat(once, bits) as i64, once);
+    }
+
+    #[test]
+    fn sat_preserves_in_range(v in -(1i64 << 22)..(1i64 << 22)) {
+        prop_assert_eq!(sat(v, 24) as i64, v);
+    }
+
+    #[test]
+    fn wrap_fixes_point_of_in_range(v in -(1i64 << 23)..(1i64 << 23)) {
+        prop_assert_eq!(wrap(v, 24) as i64, v);
+        prop_assert!(fits(wrap(v, 24) as i64, 24));
+    }
+
+    #[test]
+    fn shr_round_error_below_half_ulp(v in any::<i32>(), s in 1u32..16) {
+        let exact = v as f64 / (1i64 << s) as f64;
+        let rounded = shr_round(v as i64, s) as f64;
+        prop_assert!((rounded - exact).abs() <= 0.5 + 1e-12);
+    }
+
+    #[test]
+    fn quantize_within_one_ulp(x in -0.999f64..0.999, bits in 4u32..=16) {
+        let q = quantize(x, bits);
+        let back = dequantize(q, bits);
+        prop_assert!((back - x).abs() <= 1.0 / (1i64 << (bits - 1)) as f64);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip(bits in proptest::collection::vec(0u8..=1, 0..=32)) {
+        let packed = pack_lsb_first(&bits);
+        prop_assert_eq!(unpack_lsb_first(packed, bits.len()), bits);
+    }
+
+    #[test]
+    fn lfsr_is_deterministic(seed in 1u32..(1 << 10), n in 1usize..200) {
+        let mut a = Lfsr::new(10, (1 << 3) | 1, seed);
+        let mut b = Lfsr::new(10, (1 << 3) | 1, seed);
+        prop_assert_eq!(a.take_bits(n), b.take_bits(n));
+    }
+
+    #[test]
+    fn fft_linear(xs in proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 64), k in -4.0f64..4.0) {
+        let x: Vec<Cplx<f64>> = xs.iter().map(|&(r, i)| Cplx::new(r, i)).collect();
+        let scaled: Vec<Cplx<f64>> = x.iter().map(|v| Cplx::new(v.re * k, v.im * k)).collect();
+        let fx = fft(&x);
+        let fs = fft(&scaled);
+        for (a, b) in fx.iter().zip(&fs) {
+            prop_assert!((a.re * k - b.re).abs() < 1e-6);
+            prop_assert!((a.im * k - b.im).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn ifft_fft_roundtrip(xs in proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 64)) {
+        let x: Vec<Cplx<f64>> = xs.iter().map(|&(r, i)| Cplx::new(r, i)).collect();
+        let y = ifft(&fft(&x));
+        for (a, b) in x.iter().zip(&y) {
+            prop_assert!((a.re - b.re).abs() < 1e-8);
+            prop_assert!((a.im - b.im).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn fixed_fft_parseval_within_tolerance(xs in proptest::collection::vec((-500i32..=500, -500i32..=500), 64)) {
+        // Energy conservation (Parseval) holds approximately for the scaled
+        // fixed-point FFT: sum|X|² ≈ sum|x|²/64 with the 1/64 total scaling.
+        let mut x = [Cplx::<i32>::ZERO; 64];
+        for (v, &(r, i)) in x.iter_mut().zip(&xs) {
+            *v = Cplx::new(r, i);
+        }
+        let y = Fft64Fixed::new().run(&x);
+        let ein: f64 = x.iter().map(|v| v.sqmag() as f64).sum::<f64>() / 64.0;
+        let eout: f64 = y.iter().map(|v| v.sqmag() as f64).sum();
+        // Truncation loses energy; allow a generous band.
+        prop_assert!(eout <= ein * 1.1 + 64.0, "eout {eout} ein {ein}");
+        prop_assert!(eout >= ein * 0.5 - 64.0, "eout {eout} ein {ein}");
+    }
+
+    #[test]
+    fn dft_matches_fft_random(xs in proptest::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 16)) {
+        let x: Vec<Cplx<f64>> = xs.iter().map(|&(r, i)| Cplx::new(r, i)).collect();
+        let a = fft(&x);
+        let b = dft(&x);
+        for (u, v) in a.iter().zip(&b) {
+            prop_assert!((u.re - v.re).abs() < 1e-9);
+            prop_assert!((u.im - v.im).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! WLAN indoor channel and 10-bit ADC front end.
+//!
+//! Short multipath (within the 16-sample guard interval), AWGN, an optional
+//! idle gap before the frame (so preamble detection has something to
+//! detect), and quantisation to the 10-bit I/Q samples the paper's FFT
+//! design assumes ("The accuracy of the complex input signal is 10 bit").
+
+use sdr_dsp::fixed::sat;
+use sdr_dsp::noise::Awgn;
+use sdr_dsp::Cplx;
+
+/// Channel and front-end configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WlanChannel {
+    /// Tapped delay line at 20 Msps (tap 0 = direct path). Must be short
+    /// relative to the 16-sample guard interval for ISI-free operation.
+    pub taps: Vec<Cplx<f64>>,
+    /// AWGN standard deviation per real dimension (pre-ADC units).
+    pub noise_sigma: f64,
+    /// Idle noise-only samples preceding the frame.
+    pub leading_gap: usize,
+    /// ADC gain before quantisation.
+    pub adc_gain: f64,
+    /// ADC width (paper: 10 bits).
+    pub adc_bits: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WlanChannel {
+    fn default() -> Self {
+        WlanChannel {
+            taps: vec![Cplx::new(1.0, 0.0)],
+            noise_sigma: 0.0,
+            leading_gap: 100,
+            adc_gain: 128.0,
+            adc_bits: 10,
+            seed: 1,
+        }
+    }
+}
+
+impl WlanChannel {
+    /// An AWGN-only channel at the given noise level.
+    pub fn awgn(sigma: f64, seed: u64) -> Self {
+        WlanChannel { noise_sigma: sigma, seed, ..Default::default() }
+    }
+
+    /// Adds a two-path profile with the echo at `delay` samples and relative
+    /// complex gain `echo`.
+    pub fn with_echo(mut self, delay: usize, echo: Cplx<f64>) -> Self {
+        assert!(delay >= 1 && delay < 16, "echo must fall inside the guard interval");
+        if self.taps.len() <= delay {
+            self.taps.resize(delay + 1, Cplx::<f64>::ZERO);
+        }
+        self.taps[delay] = echo;
+        self
+    }
+
+    /// Propagates a frame, returning digitised receiver samples.
+    pub fn run(&self, tx: &[Cplx<f64>]) -> Vec<Cplx<i32>> {
+        let out_len = self.leading_gap + tx.len() + self.taps.len();
+        let mut sum = vec![Cplx::<f64>::ZERO; out_len];
+        for (d, &tap) in self.taps.iter().enumerate() {
+            if tap == Cplx::<f64>::ZERO {
+                continue;
+            }
+            for (t, &s) in tx.iter().enumerate() {
+                sum[self.leading_gap + t + d] += s * tap;
+            }
+        }
+        let mut awgn = Awgn::new(self.seed, self.noise_sigma);
+        if self.noise_sigma > 0.0 {
+            awgn.add_to(&mut sum);
+        }
+        sum.into_iter()
+            .map(|c| {
+                Cplx::new(
+                    sat((c.re * self.adc_gain).round() as i64, self.adc_bits),
+                    sat((c.im * self.adc_gain).round() as i64, self.adc_bits),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_channel_delays_by_gap() {
+        let ch = WlanChannel { leading_gap: 10, ..Default::default() };
+        let tx = vec![Cplx::new(1.0, -1.0); 4];
+        let rx = ch.run(&tx);
+        assert_eq!(rx[9], Cplx::new(0, 0));
+        assert_eq!(rx[10], Cplx::new(128, -128));
+    }
+
+    #[test]
+    fn echo_superposes() {
+        let ch = WlanChannel { leading_gap: 0, ..Default::default() }
+            .with_echo(3, Cplx::new(0.5, 0.0));
+        let tx = vec![Cplx::new(1.0, 0.0)];
+        let rx = ch.run(&tx);
+        assert_eq!(rx[0], Cplx::new(128, 0));
+        assert_eq!(rx[3], Cplx::new(64, 0));
+    }
+
+    #[test]
+    fn adc_clips_at_10_bits() {
+        let ch = WlanChannel { adc_gain: 10_000.0, leading_gap: 0, ..Default::default() };
+        let rx = ch.run(&[Cplx::new(1.0, -1.0)]);
+        assert_eq!(rx[0], Cplx::new(511, -512));
+    }
+
+    #[test]
+    fn noise_fills_the_gap_deterministically() {
+        let ch = WlanChannel::awgn(0.1, 42);
+        let a = ch.run(&[Cplx::new(1.0, 0.0); 8]);
+        let b = ch.run(&[Cplx::new(1.0, 0.0); 8]);
+        assert_eq!(a, b);
+        // Some noise samples in the gap should be non-zero at gain 128.
+        assert!(a[..100].iter().any(|v| v.re != 0 || v.im != 0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn echo_outside_guard_rejected() {
+        WlanChannel::default().with_echo(20, Cplx::new(0.1, 0.0));
+    }
+}

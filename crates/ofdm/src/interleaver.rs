@@ -1,0 +1,108 @@
+//! The 802.11a block interleaver (two permutations per OFDM symbol,
+//! §17.3.5.6).
+
+use crate::params::Modulation;
+
+/// Computes the interleaver permutation for one OFDM symbol: the output
+/// position of the input bit at position `k`.
+fn interleave_position(k: usize, n_cbps: usize, n_bpsc: usize) -> usize {
+    let s = (n_bpsc / 2).max(1);
+    // First permutation: adjacent coded bits land on non-adjacent carriers.
+    let i = (n_cbps / 16) * (k % 16) + k / 16;
+    // Second permutation: adjacent bits alternate between more and less
+    // significant constellation positions.
+    s * (i / s) + (i + n_cbps - (16 * i / n_cbps)) % s
+}
+
+/// Interleaves one OFDM symbol's worth of coded bits.
+///
+/// # Panics
+///
+/// Panics if `bits.len()` is not the symbol's coded-bit count.
+pub fn interleave(bits: &[u8], modulation: Modulation) -> Vec<u8> {
+    let n_bpsc = modulation.bits_per_carrier();
+    let n_cbps = 48 * n_bpsc;
+    assert_eq!(bits.len(), n_cbps, "interleave: exactly one symbol required");
+    let mut out = vec![0u8; n_cbps];
+    for (k, &b) in bits.iter().enumerate() {
+        out[interleave_position(k, n_cbps, n_bpsc)] = b;
+    }
+    out
+}
+
+/// Inverts [`interleave`] on one symbol of values (bits or LLRs).
+///
+/// # Panics
+///
+/// Panics if the length is not the symbol's coded-bit count.
+pub fn deinterleave<T: Copy + Default>(values: &[T], modulation: Modulation) -> Vec<T> {
+    let n_bpsc = modulation.bits_per_carrier();
+    let n_cbps = 48 * n_bpsc;
+    assert_eq!(values.len(), n_cbps, "deinterleave: exactly one symbol required");
+    let mut out = vec![T::default(); n_cbps];
+    for k in 0..n_cbps {
+        out[k] = values[interleave_position(k, n_cbps, n_bpsc)];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits(n: usize) -> Vec<u8> {
+        (0..n).map(|i| ((i * 7 + 3) % 2) as u8).collect()
+    }
+
+    #[test]
+    fn roundtrip_all_modulations() {
+        for m in [Modulation::Bpsk, Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64] {
+            let n = 48 * m.bits_per_carrier();
+            let input = bits(n);
+            let inter = interleave(&input, m);
+            assert_ne!(inter, input, "{m:?} should permute");
+            assert_eq!(deinterleave(&inter, m), input, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn permutation_is_bijective() {
+        for m in [Modulation::Bpsk, Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64] {
+            let n_bpsc = m.bits_per_carrier();
+            let n = 48 * n_bpsc;
+            let mut seen = vec![false; n];
+            for k in 0..n {
+                let j = interleave_position(k, n, n_bpsc);
+                assert!(!seen[j], "collision at {j}");
+                seen[j] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn adjacent_bits_separate_by_at_least_three_carriers() {
+        // The design goal of the first permutation.
+        let m = Modulation::Qpsk;
+        let n_bpsc = m.bits_per_carrier();
+        let n = 48 * n_bpsc;
+        for k in 0..n - 1 {
+            let c0 = interleave_position(k, n, n_bpsc) / n_bpsc;
+            let c1 = interleave_position(k + 1, n, n_bpsc) / n_bpsc;
+            assert!(c0 != c1, "adjacent coded bits on the same carrier");
+        }
+    }
+
+    #[test]
+    fn bpsk_known_value() {
+        // For BPSK (N_CBPS=48): k=0 → i=0 → j=0; k=1 → i=3 → j=3.
+        assert_eq!(interleave_position(0, 48, 1), 0);
+        assert_eq!(interleave_position(1, 48, 1), 3);
+        assert_eq!(interleave_position(16, 48, 1), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_length_rejected() {
+        interleave(&[0u8; 10], Modulation::Bpsk);
+    }
+}

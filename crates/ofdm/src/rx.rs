@@ -1,0 +1,513 @@
+//! The golden OFDM receiver (paper Fig. 8): framing and synchronisation,
+//! FFT, equalisation, demodulation, Viterbi decoding and descrambling.
+//!
+//! The word-level kernels shared with the array configurations are defined
+//! here with bit-exact integer semantics:
+//!
+//! * [`autocorr_metric`] — the lag-16 preamble-detection correlator of
+//!   configuration 2a (the short training symbol repeats every 16 samples),
+//! * the FFT-64 is [`sdr_dsp::fft::Fft64Fixed`], the golden model of the
+//!   Fig. 9 netlist.
+//!
+//! Channel estimation, equalisation and soft demapping run in floating
+//! point (DSP tasks in the paper's partitioning).
+
+use crate::convolutional::{depuncture, viterbi_decode};
+use crate::interleaver::deinterleave;
+use crate::modulation::demap_soft;
+use crate::params::{
+    data_subcarriers, subcarrier_to_bin, RateParams, CP_LEN, FFT_LEN, SYMBOL_LEN,
+};
+use crate::preamble::long_symbol_64;
+use crate::scrambler::Scrambler;
+use crate::tx::{DEFAULT_SCRAMBLER_SEED, SERVICE_BITS, TAIL_BITS};
+use sdr_dsp::fft::Fft64Fixed;
+use sdr_dsp::filter::cross_correlate;
+use sdr_dsp::Cplx;
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Autocorrelation lag: the short-training-symbol period.
+pub const AUTOCORR_LAG: usize = 16;
+
+/// Autocorrelation window length.
+pub const AUTOCORR_WINDOW: usize = 32;
+
+/// Truncating shift applied to each correlation product (keeps the running
+/// sums inside 24-bit words on the array).
+pub const AUTOCORR_PROD_SHIFT: u32 = 6;
+
+/// The lag-16 sliding autocorrelation magnitude metric, bit-exact with the
+/// configuration-2a netlist:
+///
+/// ```text
+/// p[n]  = (x[n]·conj(x[n−16])) with each product >> 6 (truncating)
+/// s[n]  = s[n−1] + p[n] − p[n−32]
+/// m[n]  = |Re s[n]| + |Im s[n]|
+/// ```
+///
+/// `m[n]` plateaus while the 16-periodic short preamble passes.
+pub fn autocorr_metric(samples: &[Cplx<i32>]) -> Vec<i32> {
+    let n = samples.len();
+    let mut metric = vec![0i32; n];
+    let mut window = std::collections::VecDeque::with_capacity(AUTOCORR_WINDOW + 1);
+    let mut s = Cplx::<i32>::ZERO;
+    for i in 0..n {
+        let p = if i >= AUTOCORR_LAG {
+            let a = samples[i];
+            let b = samples[i - AUTOCORR_LAG];
+            Cplx::new(
+                ((a.re * b.re) >> AUTOCORR_PROD_SHIFT) + ((a.im * b.im) >> AUTOCORR_PROD_SHIFT),
+                ((a.im * b.re) >> AUTOCORR_PROD_SHIFT) - ((a.re * b.im) >> AUTOCORR_PROD_SHIFT),
+            )
+        } else {
+            Cplx::<i32>::ZERO
+        };
+        window.push_back(p);
+        s += p;
+        if window.len() > AUTOCORR_WINDOW {
+            s -= window.pop_front().expect("window non-empty");
+        }
+        metric[i] = s.re.abs() + s.im.abs();
+    }
+    metric
+}
+
+/// Receiver failure modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RxError {
+    /// No short-preamble plateau found.
+    NoPreamble,
+    /// The long-preamble matched filter produced no consistent peak pair.
+    TimingFailed,
+    /// The SIGNAL field failed to decode (bad parity / unknown RATE).
+    SignalDecodeFailed,
+    /// The buffer ends before the expected number of data symbols.
+    BufferTooShort {
+        /// Samples required.
+        needed: usize,
+        /// Samples available.
+        available: usize,
+    },
+}
+
+impl fmt::Display for RxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RxError::NoPreamble => write!(f, "no preamble detected"),
+            RxError::TimingFailed => write!(f, "long-preamble timing failed"),
+            RxError::SignalDecodeFailed => write!(f, "SIGNAL field did not decode"),
+            RxError::BufferTooShort { needed, available } => {
+                write!(f, "buffer too short: need {needed} samples, have {available}")
+            }
+        }
+    }
+}
+
+impl StdError for RxError {}
+
+/// Decoded frame plus synchronisation diagnostics.
+#[derive(Debug, Clone)]
+pub struct RxOutput {
+    /// The decoded PSDU bits.
+    pub bits: Vec<u8>,
+    /// Sample index where the long training field's first symbol begins.
+    pub long_start: usize,
+    /// Sample index of the first data symbol.
+    pub data_start: usize,
+    /// Per-subcarrier channel estimate (FFT-bin order).
+    pub channel: Vec<Cplx<f64>>,
+}
+
+/// The golden receiver.
+#[derive(Debug, Clone, Copy)]
+pub struct OfdmReceiver {
+    rate: RateParams,
+    scrambler_seed: u32,
+    llr_scale: f64,
+    fft_stage_shift: u32,
+    leading_symbols: usize,
+}
+
+impl OfdmReceiver {
+    /// Creates a receiver for a known rate point (the SIGNAL field is not
+    /// modelled; see `tx`).
+    ///
+    /// The FFT per-stage scaling defaults to `>>1`, not the paper's `>>2`:
+    /// with 10-bit inputs, three `>>2` stages leave "4-bit precision" (the
+    /// paper's own words) — enough for BPSK/QPSK but *below the
+    /// constellation spacing* of 16/64-QAM, so the 36–54 Mbit/s rates
+    /// cannot work. The 24-bit datapath has ample headroom for `>>1`.
+    /// The `fig9` experiment quantifies this trade-off.
+    pub fn new(rate: RateParams) -> Self {
+        OfdmReceiver {
+            rate,
+            scrambler_seed: DEFAULT_SCRAMBLER_SEED,
+            llr_scale: 64.0,
+            fft_stage_shift: 1,
+            leading_symbols: 0,
+        }
+    }
+
+    /// Skips `n` OFDM symbols between the long preamble and the data field
+    /// (1 when the frame carries a SIGNAL symbol).
+    pub fn with_leading_symbols(mut self, n: usize) -> Self {
+        self.leading_symbols = n;
+        self
+    }
+
+    /// Overrides the scrambler seed (must match the transmitter).
+    pub fn with_scrambler_seed(mut self, seed: u32) -> Self {
+        self.scrambler_seed = seed;
+        self
+    }
+
+    /// Overrides the FFT per-stage scaling shift (the paper uses 2).
+    pub fn with_fft_stage_shift(mut self, shift: u32) -> Self {
+        self.fft_stage_shift = shift;
+        self
+    }
+
+    /// The configured rate.
+    pub fn rate(&self) -> RateParams {
+        self.rate
+    }
+
+    /// Detects the frame via the short-preamble plateau; returns the coarse
+    /// start index.
+    pub fn detect(&self, samples: &[Cplx<i32>]) -> Option<usize> {
+        let m = autocorr_metric(samples);
+        let peak = *m.iter().max()?;
+        if peak <= 0 {
+            return None;
+        }
+        let threshold = peak / 2;
+        // First index that starts a sustained run above threshold.
+        let run = 8;
+        let mut count = 0;
+        for (i, &v) in m.iter().enumerate() {
+            if v > threshold {
+                count += 1;
+                if count == run {
+                    return Some(i + 1 - run);
+                }
+            } else {
+                count = 0;
+            }
+        }
+        None
+    }
+
+    /// Fine timing: matched filter against the long training symbol; returns
+    /// the start of the long field's *first* 64-sample symbol.
+    pub fn fine_timing(&self, samples: &[Cplx<i32>], coarse: usize) -> Option<usize> {
+        let template: Vec<Cplx<i32>> = long_symbol_64()
+            .iter()
+            .map(|v| Cplx::new((v.re * 64.0).round() as i32, (v.im * 64.0).round() as i32))
+            .collect();
+        let lo = coarse;
+        let hi = (coarse + 450).min(samples.len());
+        if hi <= lo + FFT_LEN {
+            return None;
+        }
+        let corr = cross_correlate(&samples[lo..hi], &template, 8);
+        let (peak_at, _) = corr
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, v)| v.sqmag())?;
+        // The long field has two repetitions 64 samples apart; figure out
+        // whether the strongest peak is the first or the second.
+        let mag = |k: i64| -> i64 {
+            if k >= 0 && (k as usize) < corr.len() {
+                corr[k as usize].sqmag()
+            } else {
+                0
+            }
+        };
+        let before = mag(peak_at as i64 - 64);
+        let after = mag(peak_at as i64 + 64);
+        if after >= before {
+            Some(lo + peak_at) // peak is L1
+        } else {
+            Some(lo + peak_at - 64) // peak is L2
+        }
+    }
+
+    /// Estimates the channel from the two long training symbols starting at
+    /// `long_start`.
+    pub fn estimate_channel(&self, samples: &[Cplx<i32>], long_start: usize) -> Vec<Cplx<f64>> {
+        let fft = Fft64Fixed::with_stage_shift(self.fft_stage_shift);
+        let grab = |at: usize| -> [Cplx<i32>; 64] {
+            let mut buf = [Cplx::<i32>::ZERO; 64];
+            buf.copy_from_slice(&samples[at..at + 64]);
+            buf
+        };
+        let y1 = fft.run(&grab(long_start));
+        let y2 = fft.run(&grab(long_start + 64));
+        let l = crate::preamble::long_sequence();
+        let mut h = vec![Cplx::<f64>::ZERO; FFT_LEN];
+        for (idx, k) in (-26i32..=26).enumerate() {
+            if k == 0 {
+                continue;
+            }
+            let bin = subcarrier_to_bin(k);
+            let avg = Cplx::new(
+                (y1[bin].re + y2[bin].re) as f64 / 2.0,
+                (y1[bin].im + y2[bin].im) as f64 / 2.0,
+            );
+            // L is ±1, so dividing by it is multiplying.
+            h[bin] = avg.scale(l[idx] as f64);
+        }
+        h
+    }
+
+    /// Full receive chain over a sample buffer carrying `psdu_bits` data
+    /// bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`RxError`] if detection, timing or buffer length fails.
+    pub fn receive(&self, samples: &[Cplx<i32>], psdu_bits: usize) -> Result<RxOutput, RxError> {
+        let coarse = self.detect(samples).ok_or(RxError::NoPreamble)?;
+        let long_start = self.fine_timing(samples, coarse).ok_or(RxError::TimingFailed)?;
+        let data_start = long_start + 2 * FFT_LEN + self.leading_symbols * SYMBOL_LEN;
+
+        let ndbps = self.rate.data_bits_per_symbol();
+        let n_sym = (SERVICE_BITS + psdu_bits + TAIL_BITS).div_ceil(ndbps);
+        let needed = data_start + n_sym * SYMBOL_LEN;
+        if samples.len() < needed {
+            return Err(RxError::BufferTooShort { needed, available: samples.len() });
+        }
+
+        let channel = self.estimate_channel(samples, long_start);
+        let fft = Fft64Fixed::with_stage_shift(self.fft_stage_shift);
+        let carriers = data_subcarriers();
+        let mut llrs: Vec<i32> = Vec::with_capacity(n_sym * self.rate.coded_bits_per_symbol());
+        for s in 0..n_sym {
+            let at = data_start + s * SYMBOL_LEN + CP_LEN;
+            let mut buf = [Cplx::<i32>::ZERO; 64];
+            buf.copy_from_slice(&samples[at..at + FFT_LEN]);
+            let spectrum = fft.run(&buf);
+            let mut sym_llrs = Vec::with_capacity(self.rate.coded_bits_per_symbol());
+            for &k in &carriers {
+                let bin = subcarrier_to_bin(k);
+                let h = channel[bin];
+                let y = spectrum[bin].to_f64();
+                let eq = if h.sqmag() > 1e-9 { y.div(h) } else { Cplx::<f64>::ZERO };
+                sym_llrs.extend(demap_soft(eq, self.rate.modulation, self.llr_scale));
+            }
+            llrs.extend(deinterleave(&sym_llrs, self.rate.modulation));
+        }
+
+        let decoded = viterbi_decode(&depuncture(&llrs, self.rate.code_rate));
+        let mut descrambled = decoded;
+        Scrambler::new(self.scrambler_seed).scramble_in_place(&mut descrambled);
+        let bits = descrambled[SERVICE_BITS..SERVICE_BITS + psdu_bits].to_vec();
+        Ok(RxOutput { bits, long_start, data_start, channel })
+    }
+}
+
+/// Rate-agnostic reception: decodes the SIGNAL field first (§17.3.4), then
+/// configures the data decode from the announced RATE and LENGTH.
+///
+/// # Errors
+///
+/// Propagates synchronisation errors; returns
+/// [`RxError::SignalDecodeFailed`] if the SIGNAL parity/RATE check fails.
+pub fn receive_auto(samples: &[Cplx<i32>]) -> Result<(RxOutput, RateParams), RxError> {
+    // Use any rate for the sync stages; they do not depend on it.
+    let probe = OfdmReceiver::new(crate::params::RATES[0]);
+    let coarse = probe.detect(samples).ok_or(RxError::NoPreamble)?;
+    let long_start = probe.fine_timing(samples, coarse).ok_or(RxError::TimingFailed)?;
+    let channel = probe.estimate_channel(samples, long_start);
+
+    // Equalise the SIGNAL symbol (the first after the long training field).
+    let at = long_start + 2 * FFT_LEN + CP_LEN;
+    if samples.len() < at + FFT_LEN {
+        return Err(RxError::BufferTooShort { needed: at + FFT_LEN, available: samples.len() });
+    }
+    let fft = Fft64Fixed::with_stage_shift(1);
+    let mut buf = [Cplx::<i32>::ZERO; 64];
+    buf.copy_from_slice(&samples[at..at + FFT_LEN]);
+    let spectrum = fft.run(&buf);
+    let eq: Vec<Cplx<f64>> = data_subcarriers()
+        .iter()
+        .map(|&k| {
+            let bin = subcarrier_to_bin(k);
+            let h = channel[bin];
+            if h.sqmag() > 1e-9 {
+                spectrum[bin].to_f64().div(h)
+            } else {
+                Cplx::<f64>::ZERO
+            }
+        })
+        .collect();
+    let (r, octets) =
+        crate::signal_field::decode_signal(&eq).ok_or(RxError::SignalDecodeFailed)?;
+
+    let receiver = OfdmReceiver::new(r).with_leading_symbols(1);
+    let out = receiver.receive(samples, octets * 8)?;
+    Ok((out, r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::WlanChannel;
+    use crate::params::{rate, RATES};
+    use crate::tx::Transmitter;
+    use sdr_dsp::metrics::BerCounter;
+
+    fn psdu(n: usize) -> Vec<u8> {
+        (0..n).map(|i| ((i * 29 + i / 7 + 1) % 2) as u8).collect()
+    }
+
+    #[test]
+    fn autocorr_plateaus_on_short_preamble() {
+        let tx = Transmitter::new(rate(6).unwrap());
+        let frame = tx.transmit(&psdu(48));
+        let rx = WlanChannel::default().run(&frame.samples);
+        let m = autocorr_metric(&rx);
+        let peak = *m.iter().max().unwrap();
+        // Plateau within the short preamble region (gap = 100).
+        let inside = m[140..240].iter().filter(|&&v| v > peak / 2).count();
+        assert!(inside > 80, "plateau too short: {inside}");
+        // Quiet before the frame.
+        assert!(m[..80].iter().all(|&v| v < peak / 4));
+    }
+
+    #[test]
+    fn detect_and_fine_timing_locate_the_frame() {
+        let tx = Transmitter::new(rate(12).unwrap());
+        let frame = tx.transmit(&psdu(96));
+        let ch = WlanChannel { leading_gap: 137, ..Default::default() };
+        let rx_samples = ch.run(&frame.samples);
+        let receiver = OfdmReceiver::new(rate(12).unwrap());
+        let coarse = receiver.detect(&rx_samples).unwrap();
+        assert!(coarse >= 137 && coarse < 137 + 160, "coarse {coarse}");
+        let long_start = receiver.fine_timing(&rx_samples, coarse).unwrap();
+        // Long field starts at gap+160; its first symbol at gap+160+32.
+        assert_eq!(long_start, 137 + 160 + 32);
+    }
+
+    #[test]
+    fn clean_channel_roundtrip_all_rates() {
+        for r in RATES {
+            let bits = psdu(3 * r.data_bits_per_symbol());
+            let frame = Transmitter::new(r).transmit(&bits);
+            let rx = WlanChannel::default().run(&frame.samples);
+            let out = OfdmReceiver::new(r).receive(&rx, bits.len()).unwrap();
+            assert_eq!(out.bits, bits, "rate {} Mb/s", r.mbps);
+        }
+    }
+
+    #[test]
+    fn multipath_within_guard_interval_is_equalised() {
+        let r = rate(24).unwrap();
+        let bits = psdu(4 * r.data_bits_per_symbol());
+        let frame = Transmitter::new(r).transmit(&bits);
+        let ch = WlanChannel::default().with_echo(5, Cplx::new(0.4, -0.3));
+        let rx = ch.run(&frame.samples);
+        let out = OfdmReceiver::new(r).receive(&rx, bits.len()).unwrap();
+        assert_eq!(out.bits, bits);
+    }
+
+    #[test]
+    fn moderate_noise_is_corrected_by_coding() {
+        let r = rate(6).unwrap();
+        let bits = psdu(6 * r.data_bits_per_symbol());
+        let frame = Transmitter::new(r).transmit(&bits);
+        let ch = WlanChannel::awgn(0.18, 7);
+        let rx = ch.run(&frame.samples);
+        let out = OfdmReceiver::new(r).receive(&rx, bits.len()).unwrap();
+        let mut ber = BerCounter::new();
+        ber.update(&bits, &out.bits);
+        assert_eq!(ber.errors(), 0, "ber {}", ber.ber());
+    }
+
+    #[test]
+    fn rate_54_needs_higher_snr_than_rate_6() {
+        let sigma = 0.12;
+        let mut bers = Vec::new();
+        for mbps in [6u32, 54] {
+            let r = rate(mbps).unwrap();
+            let bits = psdu(6 * r.data_bits_per_symbol());
+            let frame = Transmitter::new(r).transmit(&bits);
+            let rx = WlanChannel::awgn(sigma, 11).run(&frame.samples);
+            let out = OfdmReceiver::new(r).receive(&rx, bits.len()).unwrap();
+            let mut ber = BerCounter::new();
+            ber.update(&bits, &out.bits);
+            bers.push(ber.ber());
+        }
+        assert!(bers[1] > bers[0], "54 Mb/s should degrade first: {bers:?}");
+    }
+
+    #[test]
+    fn missing_preamble_is_reported() {
+        let receiver = OfdmReceiver::new(rate(6).unwrap());
+        let silence = vec![Cplx::new(0, 0); 2000];
+        match receiver.receive(&silence, 24) {
+            Err(RxError::NoPreamble) => {}
+            other => panic!("expected NoPreamble, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn signal_field_roundtrip_all_rates() {
+        for r in RATES {
+            let bits = psdu(2 * r.data_bits_per_symbol() / 8 * 8);
+            let frame = Transmitter::new(r).with_signal_field().transmit(&bits);
+            let rx = WlanChannel::default().run(&frame.samples);
+            let (out, detected) = receive_auto(&rx).unwrap();
+            assert_eq!(detected.mbps, r.mbps, "rate detection");
+            assert_eq!(out.bits, bits, "payload at {} Mb/s", r.mbps);
+        }
+    }
+
+    #[test]
+    fn signal_field_survives_noise_and_multipath() {
+        let r = rate(24).unwrap();
+        let bits = psdu(768);
+        let frame = Transmitter::new(r).with_signal_field().transmit(&bits);
+        let ch = WlanChannel::awgn(0.08, 3).with_echo(4, Cplx::new(0.3, -0.2));
+        let rx = ch.run(&frame.samples);
+        let (out, detected) = receive_auto(&rx).unwrap();
+        assert_eq!(detected.mbps, 24);
+        assert_eq!(out.bits, bits);
+    }
+
+    #[test]
+    fn garbage_signal_symbol_is_rejected() {
+        // A frame WITHOUT a SIGNAL field: receive_auto tries to parse the
+        // first data symbol as SIGNAL and must fail cleanly (or, rarely,
+        // mis-parse — the parity makes that a ~2^-13 event, deterministic
+        // here).
+        let r = rate(12).unwrap();
+        let bits = psdu(192);
+        let frame = Transmitter::new(r).transmit(&bits);
+        let rx = WlanChannel::default().run(&frame.samples);
+        match receive_auto(&rx) {
+            Err(RxError::SignalDecodeFailed) => {}
+            Err(other) => panic!("unexpected error {other:?}"),
+            Ok((out, detected)) => {
+                // If it parsed, the decode must at least disagree with the
+                // actual payload (sanity guard against silent success).
+                assert!(detected.mbps != r.mbps || out.bits != bits);
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_buffer_is_reported() {
+        let r = rate(6).unwrap();
+        let bits = psdu(8 * r.data_bits_per_symbol());
+        let frame = Transmitter::new(r).transmit(&bits);
+        let rx = WlanChannel::default().run(&frame.samples);
+        let cut = &rx[..rx.len() - 300];
+        match OfdmReceiver::new(r).receive(cut, bits.len()) {
+            Err(RxError::BufferTooShort { .. }) => {}
+            other => panic!("expected BufferTooShort, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! The OFDM decoder's array configurations (paper Figs. 9 and 10).
+
+pub mod fft64;
+pub mod frontend;
+
+pub use fft64::{fft64_netlist, ArrayFft64};
+pub use frontend::{
+    demodulator_netlist, downsample2, downsampler_netlist, frontend_netlist,
+    preamble_detector_netlist, ReconfigEvent, ReconfigurableFrontend,
+};
+
+use sdr_dsp::Cplx;
+use xpp_array::Word;
+
+/// Splits a complex integer stream into parallel I and Q word streams.
+pub(crate) fn split_iq(samples: &[Cplx<i32>]) -> (Vec<Word>, Vec<Word>) {
+    (
+        samples.iter().map(|c| Word::new(c.re)).collect(),
+        samples.iter().map(|c| Word::new(c.im)).collect(),
+    )
+}
+
+/// Zips parallel I and Q word streams back into complex samples.
+pub(crate) fn zip_iq(i: &[Word], q: &[Word]) -> Vec<Cplx<i32>> {
+    assert_eq!(i.len(), q.len(), "I/Q stream length mismatch");
+    i.iter().zip(q).map(|(a, b)| Cplx::new(a.value(), b.value())).collect()
+}

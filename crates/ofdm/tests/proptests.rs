@@ -1,0 +1,135 @@
+//! Property-based tests for the 802.11a PHY building blocks.
+
+use proptest::prelude::*;
+use sdr_dsp::Cplx;
+use sdr_ofdm::convolutional::{depuncture, encode, puncture, viterbi_decode};
+use sdr_ofdm::interleaver::{deinterleave, interleave};
+use sdr_ofdm::modulation::{demap_hard, map_bits, map_symbol};
+use sdr_ofdm::params::{CodeRate, Modulation};
+use sdr_ofdm::scrambler::Scrambler;
+use sdr_ofdm::signal_field::{parse_signal_bits, signal_bits, signal_points, decode_signal};
+use sdr_ofdm::params::RATES;
+
+fn arb_bits(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..=1, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn scrambler_is_self_inverse(seed in 1u32..128, data in arb_bits(1..400)) {
+        let once = Scrambler::new(seed).scramble(&data);
+        let twice = Scrambler::new(seed).scramble(&once);
+        prop_assert_eq!(twice, data);
+    }
+
+    #[test]
+    fn viterbi_recovers_random_messages(data in arb_bits(8..300)) {
+        let mut bits = data.clone();
+        bits.extend_from_slice(&[0; 6]);
+        let coded = encode(&bits);
+        let llrs: Vec<i32> = coded.iter().map(|&b| if b == 0 { 10 } else { -10 }).collect();
+        let decoded = viterbi_decode(&llrs);
+        prop_assert_eq!(&decoded[..data.len()], &data[..]);
+    }
+
+    #[test]
+    fn viterbi_corrects_sparse_flips(data in arb_bits(40..160), flip in 0usize..1000) {
+        let mut bits = data.clone();
+        bits.extend_from_slice(&[0; 6]);
+        let coded = encode(&bits);
+        let mut llrs: Vec<i32> = coded.iter().map(|&b| if b == 0 { 10 } else { -10 }).collect();
+        let idx = flip % llrs.len();
+        llrs[idx] = -llrs[idx];
+        let decoded = viterbi_decode(&llrs);
+        prop_assert_eq!(&decoded[..data.len()], &data[..]);
+    }
+
+    #[test]
+    fn puncture_depuncture_positions_are_consistent(rate_idx in 0usize..3, n_groups in 1usize..20) {
+        let rate = [CodeRate::R12, CodeRate::R23, CodeRate::R34][rate_idx];
+        let n = 12 * n_groups; // divisible by every pattern period
+        let coded: Vec<u8> = (0..n).map(|i| ((i * 7 + 1) % 2) as u8).collect();
+        let punctured = puncture(&coded, rate);
+        // Depuncture LLRs derived from the punctured bits: non-zero entries
+        // must equal the surviving coded bits in their original positions.
+        let llrs: Vec<i32> = punctured.iter().map(|&b| if b == 0 { 5 } else { -5 }).collect();
+        let full = depuncture(&llrs, rate);
+        prop_assert_eq!(full.len(), coded.len());
+        for (i, &l) in full.iter().enumerate() {
+            if l != 0 {
+                let bit = (l < 0) as u8;
+                prop_assert_eq!(bit, coded[i], "position {}", i);
+            }
+        }
+    }
+
+    #[test]
+    fn interleaver_roundtrip_random(mod_idx in 0usize..4, seed in 0u32..1000) {
+        let m = [Modulation::Bpsk, Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64][mod_idx];
+        let n = 48 * m.bits_per_carrier();
+        let data: Vec<u8> = (0..n)
+            .map(|i| (((i as u32).wrapping_add(seed).wrapping_mul(2654435761)) >> 9 & 1) as u8)
+            .collect();
+        prop_assert_eq!(deinterleave(&interleave(&data, m), m), data);
+    }
+
+    #[test]
+    fn hard_demap_inverts_map_with_small_noise(
+        mod_idx in 0usize..4,
+        seed in 0u32..500,
+        nre in -40i32..40,
+        nim in -40i32..40,
+    ) {
+        let m = [Modulation::Bpsk, Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64][mod_idx];
+        let nbits = m.bits_per_carrier();
+        let bits: Vec<u8> = (0..nbits).map(|i| ((seed >> i) & 1) as u8).collect();
+        let y = map_symbol(&bits, m);
+        // Noise well below half the minimum constellation distance.
+        let d_min_half = match m {
+            Modulation::Bpsk => 0.5,
+            Modulation::Qpsk => 0.353,
+            Modulation::Qam16 => 0.158,
+            Modulation::Qam64 => 0.077,
+        };
+        let noisy = y + Cplx::new(
+            nre as f64 / 40.0 * d_min_half * 0.9,
+            nim as f64 / 40.0 * d_min_half * 0.9,
+        );
+        prop_assert_eq!(demap_hard(noisy, m), bits);
+    }
+
+    #[test]
+    fn map_bits_preserves_length(mod_idx in 0usize..4, n_syms in 1usize..30) {
+        let m = [Modulation::Bpsk, Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64][mod_idx];
+        let bits: Vec<u8> = (0..n_syms * m.bits_per_carrier()).map(|i| (i % 2) as u8).collect();
+        prop_assert_eq!(map_bits(&bits, m).len(), n_syms);
+    }
+
+    #[test]
+    fn signal_field_roundtrips_any_length(rate_idx in 0usize..8, octets in 0usize..=4095) {
+        let r = RATES[rate_idx];
+        let bits = signal_bits(r, octets);
+        let (pr, plen) = parse_signal_bits(&bits).expect("self-generated SIGNAL parses");
+        prop_assert_eq!(pr.mbps, r.mbps);
+        prop_assert_eq!(plen, octets);
+    }
+
+    #[test]
+    fn signal_symbol_decodes_through_modulation(rate_idx in 0usize..8, octets in 1usize..4000) {
+        let r = RATES[rate_idx];
+        let pts = signal_points(r, octets);
+        let (pr, plen) = decode_signal(&pts).expect("clean SIGNAL decodes");
+        prop_assert_eq!(pr.mbps, r.mbps);
+        prop_assert_eq!(plen, octets);
+    }
+
+    #[test]
+    fn single_bit_flip_never_passes_signal_parity(octets in 0usize..=4095, pos in 0usize..17) {
+        let mut bits = signal_bits(RATES[0], octets);
+        bits[pos] ^= 1;
+        // Flipping exactly one of the parity-covered bits must break parity.
+        prop_assert!(parse_signal_bits(&bits).is_none());
+    }
+}

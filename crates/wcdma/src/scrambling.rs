@@ -1,0 +1,216 @@
+//! 3GPP TS 25.213 §5.2.2 downlink scrambling codes.
+//!
+//! Downlink scrambling codes are complex Gold sequences built from two
+//! degree-18 m-sequences:
+//!
+//! * `x`: feedback `x(i+18) = x(i+7) + x(i) mod 2`, seeded `1,0,…,0`,
+//! * `y`: feedback `y(i+18) = y(i+10) + y(i+7) + y(i+5) + y(i) mod 2`,
+//!   seeded all ones.
+//!
+//! Code number `n` selects a phase shift of `x`:
+//! `zₙ(i) = x((i+n) mod L) ⊕ y(i)` with `L = 2¹⁸ − 1`, and the complex chip is
+//! `Sₙ(i) = m(zₙ(i)) + j·m(zₙ((i+131072) mod L))` with `m: 0 → +1, 1 → −1`.
+//! One radio frame uses the first 38400 chips.
+//!
+//! In the paper's partitioning (Fig. 4) this generator is *dedicated
+//! hardware* that hands the array a 2-bit code representation per chip; the
+//! array's descrambler (Fig. 5) expands those bits to `±1±j`.
+
+use sdr_dsp::Cplx;
+
+/// Length of one m-sequence period, `2¹⁸ − 1`.
+pub const SEQUENCE_LEN: usize = (1 << 18) - 1;
+
+/// Chips per 10 ms radio frame.
+pub const FRAME_CHIPS: usize = 38_400;
+
+/// Offset between the I and Q branches of the complex code.
+const Q_BRANCH_OFFSET: usize = 131_072;
+
+fn m_sequences() -> (Vec<u8>, Vec<u8>) {
+    let mut x = vec![0u8; SEQUENCE_LEN];
+    let mut y = vec![0u8; SEQUENCE_LEN];
+    // Seeds: x = 1,0,...,0 ; y = all ones (registers hold x(i)..x(i+17)).
+    let mut xr = [0u8; 18];
+    xr[0] = 1;
+    let mut yr = [1u8; 18];
+    for i in 0..SEQUENCE_LEN {
+        x[i] = xr[0];
+        y[i] = yr[0];
+        let xf = (xr[7] + xr[0]) & 1;
+        let yf = (yr[10] + yr[7] + yr[5] + yr[0]) & 1;
+        xr.copy_within(1..18, 0);
+        xr[17] = xf;
+        yr.copy_within(1..18, 0);
+        yr[17] = yf;
+    }
+    (x, y)
+}
+
+/// A downlink scrambling-code generator for one cell.
+///
+/// The generator precomputes one frame (38400 chips) of the complex code; the
+/// per-chip interface hands out either the complex `±1±j` value or the 2-bit
+/// representation the dedicated hardware would stream to the array.
+///
+/// # Example
+///
+/// ```
+/// use sdr_wcdma::scrambling::ScramblingCode;
+///
+/// let code = ScramblingCode::downlink(0);
+/// let chip = code.chip(0);
+/// assert!(chip.re.abs() == 1 && chip.im.abs() == 1);
+/// // The 2-bit representation encodes the same chip.
+/// let (ci, cq) = code.chip_bits(0);
+/// assert_eq!(chip.re, 1 - 2 * ci as i32);
+/// assert_eq!(chip.im, 1 - 2 * cq as i32);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScramblingCode {
+    number: u32,
+    /// I-branch bits (0/1) for one frame.
+    i_bits: Vec<u8>,
+    /// Q-branch bits (0/1) for one frame.
+    q_bits: Vec<u8>,
+}
+
+impl ScramblingCode {
+    /// Generates the downlink code with the given code number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `number` is not less than `2¹⁸ − 1`.
+    pub fn downlink(number: u32) -> Self {
+        assert!((number as usize) < SEQUENCE_LEN, "scrambling code number out of range");
+        let (x, y) = m_sequences();
+        let n = number as usize;
+        let mut i_bits = Vec::with_capacity(FRAME_CHIPS);
+        let mut q_bits = Vec::with_capacity(FRAME_CHIPS);
+        for i in 0..FRAME_CHIPS {
+            let zi = x[(i + n) % SEQUENCE_LEN] ^ y[i];
+            let iq = (i + Q_BRANCH_OFFSET) % SEQUENCE_LEN;
+            let zq = x[(iq + n) % SEQUENCE_LEN] ^ y[iq];
+            i_bits.push(zi);
+            q_bits.push(zq);
+        }
+        ScramblingCode { number, i_bits, q_bits }
+    }
+
+    /// The code number.
+    pub fn number(&self) -> u32 {
+        self.number
+    }
+
+    /// The complex code chip (`±1 ± j`) at frame position `i` (wraps at the
+    /// frame boundary, matching the per-frame restart of the standard).
+    #[inline]
+    pub fn chip(&self, i: usize) -> Cplx<i32> {
+        let i = i % FRAME_CHIPS;
+        Cplx::new(1 - 2 * self.i_bits[i] as i32, 1 - 2 * self.q_bits[i] as i32)
+    }
+
+    /// The 2-bit representation `(cᵢ, c_q)` of a chip — the stream the
+    /// dedicated-hardware generator feeds the array in Fig. 5.
+    #[inline]
+    pub fn chip_bits(&self, i: usize) -> (u8, u8) {
+        let i = i % FRAME_CHIPS;
+        (self.i_bits[i], self.q_bits[i])
+    }
+
+    /// A full frame of complex chips.
+    pub fn frame(&self) -> Vec<Cplx<i32>> {
+        (0..FRAME_CHIPS).map(|i| self.chip(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn m_sequences_have_maximal_balance() {
+        let (x, y) = m_sequences();
+        // An m-sequence of period 2^18-1 has 2^17 ones and 2^17-1 zeros.
+        let ones_x: usize = x.iter().map(|&b| b as usize).sum();
+        let ones_y: usize = y.iter().map(|&b| b as usize).sum();
+        assert_eq!(ones_x, 1 << 17);
+        assert_eq!(ones_y, 1 << 17);
+    }
+
+    #[test]
+    fn x_sequence_satisfies_recurrence() {
+        let (x, _) = m_sequences();
+        for i in 0..1000 {
+            assert_eq!(x[i + 18], x[i + 7] ^ x[i]);
+        }
+    }
+
+    #[test]
+    fn y_sequence_satisfies_recurrence() {
+        let (_, y) = m_sequences();
+        for i in 0..1000 {
+            assert_eq!(y[i + 18], y[i + 10] ^ y[i + 7] ^ y[i + 5] ^ y[i]);
+        }
+    }
+
+    #[test]
+    fn chips_are_qpsk_valued() {
+        let code = ScramblingCode::downlink(17);
+        for i in 0..500 {
+            let c = code.chip(i);
+            assert_eq!(c.re.abs(), 1);
+            assert_eq!(c.im.abs(), 1);
+        }
+    }
+
+    #[test]
+    fn different_code_numbers_decorrelate() {
+        let a = ScramblingCode::downlink(0);
+        let b = ScramblingCode::downlink(16); // different primary code
+        let n = 4096;
+        let corr: i64 = (0..n)
+            .map(|i| {
+                let ca = a.chip(i);
+                let cb = b.chip(i);
+                (ca * cb.conj()).re as i64
+            })
+            .sum();
+        // Cross-correlation of distinct Gold phases is far below n·|chip|²=2n.
+        assert!(corr.abs() < n as i64 / 4, "cross-correlation too high: {corr}");
+    }
+
+    #[test]
+    fn autocorrelation_peaks_at_zero_lag() {
+        let code = ScramblingCode::downlink(3);
+        let n = 2048;
+        let zero: i64 = (0..n).map(|i| (code.chip(i) * code.chip(i).conj()).re as i64).sum();
+        assert_eq!(zero, 2 * n as i64);
+        let lag: i64 = (0..n).map(|i| (code.chip(i) * code.chip(i + 7).conj()).re as i64).sum();
+        assert!(lag.abs() < n as i64 / 4);
+    }
+
+    #[test]
+    fn chip_bits_match_complex_chip() {
+        let code = ScramblingCode::downlink(5);
+        for i in 0..200 {
+            let (ci, cq) = code.chip_bits(i);
+            let c = code.chip(i);
+            assert_eq!(c.re, 1 - 2 * ci as i32);
+            assert_eq!(c.im, 1 - 2 * cq as i32);
+        }
+    }
+
+    #[test]
+    fn frame_wraps() {
+        let code = ScramblingCode::downlink(9);
+        assert_eq!(code.chip(0), code.chip(FRAME_CHIPS));
+        assert_eq!(code.frame().len(), FRAME_CHIPS);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_out_of_range_code_number() {
+        ScramblingCode::downlink(1 << 18);
+    }
+}

@@ -1,0 +1,383 @@
+//! The channel-correction unit on the array (paper Fig. 7).
+//!
+//! Two variants, mirroring the figure:
+//!
+//! * [`corrector_netlist`] — the time-multiplexed corrector with *resident*
+//!   per-finger weights held in RAM-PAEs (the figure's weight FIFOs). The
+//!   DSP updates weights at slot rate through write ports while symbols
+//!   stream; symbol-paced events gate the weight reads so weights and
+//!   symbols stay token-aligned.
+//! * [`sttd_corrector_netlist`] — the STTD decoder: symbol pairs and weight
+//!   pairs arrive interleaved, demuxes split them, sixteen multipliers form
+//!   `ŝ1 = w1*·r1 + w2·r2*` and `ŝ2 = w1*·r2 − w2·r1*`, and merges
+//!   re-interleave the decoded pair.
+
+use crate::rake::finger::WEIGHT_FRAC_BITS;
+use crate::xpp_map::{split_iq, zip_iq};
+use sdr_dsp::Cplx;
+use xpp_array::{
+    AluOp, Array, ConfigId, CounterCfg, DataOut, Netlist, NetlistBuilder, UnaryOp, Result, Word,
+    WORD_MIN,
+};
+
+/// Builds the resident-weight corrector for `fingers` time-multiplexed
+/// fingers.
+///
+/// External ports: symbols in `i_in`/`q_in` (finger-major interleaved),
+/// weight updates in `w_addr`/`wi`/`wq`, corrected symbols out
+/// `i_out`/`q_out`. Output is `(s · conj(w)) >> 9`, truncating — identical
+/// to the golden [`correct`](crate::rake::finger::correct).
+///
+/// # Panics
+///
+/// Panics if `fingers` is 0 or exceeds 512 (one RAM bank per component).
+pub fn corrector_netlist(fingers: usize) -> Netlist {
+    assert!((1..=512).contains(&fingers), "fingers must be 1..=512");
+    let mut nl = NetlistBuilder::new(format!("fig7-corrector-{fingers}x"));
+    let i_in = nl.input("i_in");
+    let q_in = nl.input("q_in");
+    let w_addr = nl.input("w_addr");
+    let wi = nl.input("wi");
+    let wq = nl.input("wq");
+
+    // One weight-read per symbol: an always-true event derived from the
+    // symbol stream gates the finger-address counter, so reads can neither
+    // run ahead of the weights nor fall out of step with the symbols.
+    let always = nl.unary(UnaryOp::GeK(Word::new(WORD_MIN)), i_in);
+    let sym_ev = nl.to_event(always);
+    let rd_ctr = nl.counter(CounterCfg::modulo(fingers as u64));
+    let rd_addr = nl.gate(sym_ev, rd_ctr.value);
+
+    let ram_wi = nl.ram(vec![]);
+    let ram_wq = nl.ram(vec![]);
+    nl.wire(rd_addr, ram_wi.rd_addr);
+    nl.wire(rd_addr, ram_wq.rd_addr);
+    nl.wire(w_addr, ram_wi.wr_addr);
+    nl.wire(w_addr, ram_wq.wr_addr);
+    nl.wire(wi, ram_wi.wr_data);
+    nl.wire(wq, ram_wq.wr_data);
+    let wi_s = ram_wi.rd_data;
+    let wq_s = ram_wq.rd_data;
+
+    // s · conj(w): re = i·wi + q·wq ; im = q·wi − i·wq ; then >> 9.
+    let p1 = nl.alu(AluOp::Mul, i_in, wi_s);
+    let p2 = nl.alu(AluOp::Mul, q_in, wq_s);
+    let p3 = nl.alu(AluOp::Mul, q_in, wi_s);
+    let p4 = nl.alu(AluOp::Mul, i_in, wq_s);
+    let re = nl.alu(AluOp::Add, p1, p2);
+    let im = nl.alu(AluOp::Sub, p3, p4);
+    let re = nl.unary(UnaryOp::ShrK(WEIGHT_FRAC_BITS), re);
+    let im = nl.unary(UnaryOp::ShrK(WEIGHT_FRAC_BITS), im);
+    nl.output("i_out", re);
+    nl.output("q_out", im);
+    nl.build().expect("corrector netlist is well formed")
+}
+
+/// Builds the STTD decoding corrector (one finger; symbol pairs and weight
+/// pairs interleaved on the ports).
+///
+/// External ports: `i_in`/`q_in` (r1, r2 interleaved), `wi`/`wq` (w1, w2
+/// interleaved, one pair per symbol pair), `i_out`/`q_out` (ŝ1, ŝ2
+/// interleaved). Matches the golden
+/// [`sttd_decode_fixed`](crate::symbols::sttd_decode_fixed) with
+/// `frac = 9` exactly.
+pub fn sttd_corrector_netlist() -> Netlist {
+    let mut nl = NetlistBuilder::new("fig7-sttd-corrector");
+    let i_in = nl.input("i_in");
+    let q_in = nl.input("q_in");
+    let wi = nl.input("wi");
+    let wq = nl.input("wq");
+
+    // Toggle: token index parity within each pair.
+    let tog = nl.counter(CounterCfg::modulo(2));
+    let tog_ev = nl.to_event(tog.value);
+    let (r1i, r2i) = nl.demux(tog_ev, i_in);
+    let (r1q, r2q) = nl.demux(tog_ev, q_in);
+    let (w1i, w2i) = nl.demux(tog_ev, wi);
+    let (w1q, w2q) = nl.demux(tog_ev, wq);
+
+    let mul = |nl: &mut NetlistBuilder, a: DataOut, b: DataOut| nl.alu(AluOp::Mul, a, b);
+
+    // ŝ1 = w1*·r1 + w2·r2*
+    let a1 = mul(&mut nl, w1i, r1i);
+    let a2 = mul(&mut nl, w1q, r1q);
+    let a3 = mul(&mut nl, w2i, r2i);
+    let a4 = mul(&mut nl, w2q, r2q);
+    let s1_re_a = nl.alu(AluOp::Add, a1, a2);
+    let s1_re_b = nl.alu(AluOp::Add, a3, a4);
+    let s1_re = nl.alu(AluOp::Add, s1_re_a, s1_re_b);
+
+    let b1 = mul(&mut nl, w1i, r1q);
+    let b2 = mul(&mut nl, w1q, r1i);
+    let b3 = mul(&mut nl, w2q, r2i);
+    let b4 = mul(&mut nl, w2i, r2q);
+    let s1_im_a = nl.alu(AluOp::Sub, b1, b2);
+    let s1_im_b = nl.alu(AluOp::Sub, b3, b4);
+    let s1_im = nl.alu(AluOp::Add, s1_im_a, s1_im_b);
+
+    // ŝ2 = w1*·r2 − w2·r1*
+    let c1 = mul(&mut nl, w1i, r2i);
+    let c2 = mul(&mut nl, w1q, r2q);
+    let c3 = mul(&mut nl, w2i, r1i);
+    let c4 = mul(&mut nl, w2q, r1q);
+    let s2_re_a = nl.alu(AluOp::Add, c1, c2);
+    let s2_re_b = nl.alu(AluOp::Add, c3, c4);
+    let s2_re = nl.alu(AluOp::Sub, s2_re_a, s2_re_b);
+
+    let d1 = mul(&mut nl, w1i, r2q);
+    let d2 = mul(&mut nl, w1q, r2i);
+    let d3 = mul(&mut nl, w2q, r1i);
+    let d4 = mul(&mut nl, w2i, r1q);
+    let s2_im_a = nl.alu(AluOp::Sub, d1, d2);
+    let s2_im_b = nl.alu(AluOp::Sub, d3, d4);
+    let s2_im = nl.alu(AluOp::Sub, s2_im_a, s2_im_b);
+
+    let s1_re = nl.unary(UnaryOp::ShrK(WEIGHT_FRAC_BITS), s1_re);
+    let s1_im = nl.unary(UnaryOp::ShrK(WEIGHT_FRAC_BITS), s1_im);
+    let s2_re = nl.unary(UnaryOp::ShrK(WEIGHT_FRAC_BITS), s2_re);
+    let s2_im = nl.unary(UnaryOp::ShrK(WEIGHT_FRAC_BITS), s2_im);
+
+    // Re-interleave ŝ1, ŝ2 onto the output streams.
+    let out_tog = nl.counter(CounterCfg::modulo(2));
+    let out_ev = nl.to_event(out_tog.value);
+    let i_out = nl.merge(out_ev, s1_re, s2_re);
+    let q_out = nl.merge(out_ev, s1_im, s2_im);
+    nl.output("i_out", i_out);
+    nl.output("q_out", q_out);
+    nl.build().expect("sttd corrector netlist is well formed")
+}
+
+/// Resident-weight corrector on its own array instance.
+#[derive(Debug)]
+pub struct ArrayCorrector {
+    array: Array,
+    cfg: ConfigId,
+    fingers: usize,
+}
+
+impl ArrayCorrector {
+    /// Instantiates the corrector for `fingers` multiplexed fingers.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if placement fails.
+    pub fn new(fingers: usize) -> Result<Self> {
+        let mut array = Array::xpp64a();
+        let cfg = array.configure(&corrector_netlist(fingers))?;
+        Ok(ArrayCorrector { array, cfg, fingers })
+    }
+
+    /// Writes per-finger weights into the resident RAM banks (what the DSP
+    /// does at slot rate). Must be called between symbol blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the simulation stalls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight count differs from the finger count.
+    pub fn set_weights(&mut self, weights: &[Cplx<i32>]) -> Result<()> {
+        assert_eq!(weights.len(), self.fingers, "one weight per finger");
+        self.array.push_input(
+            self.cfg,
+            "w_addr",
+            (0..self.fingers).map(|f| Word::new(f as i32)),
+        )?;
+        self.array
+            .push_input(self.cfg, "wi", weights.iter().map(|w| Word::new(w.re)))?;
+        self.array
+            .push_input(self.cfg, "wq", weights.iter().map(|w| Word::new(w.im)))?;
+        self.array.run_until_idle(10_000)?;
+        Ok(())
+    }
+
+    /// Corrects a finger-major interleaved symbol stream; the length must be
+    /// a multiple of the finger count.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the simulation stalls.
+    pub fn process(&mut self, muxed: &[Cplx<i32>]) -> Result<Vec<Cplx<i32>>> {
+        assert!(muxed.len() % self.fingers == 0, "stream must cover whole finger rounds");
+        let (i, q) = split_iq(muxed);
+        self.array.push_input(self.cfg, "i_in", i)?;
+        self.array.push_input(self.cfg, "q_in", q)?;
+        let budget = 16 * muxed.len() as u64 + 4_000;
+        self.array.run_until_output(self.cfg, "i_out", muxed.len(), budget)?;
+        self.array.run_until_idle(4_000)?;
+        let i_out = self.array.drain_output(self.cfg, "i_out")?;
+        let q_out = self.array.drain_output(self.cfg, "q_out")?;
+        Ok(zip_iq(&i_out, &q_out))
+    }
+
+    /// The underlying array.
+    pub fn array(&self) -> &Array {
+        &self.array
+    }
+
+    /// The configuration handle.
+    pub fn config(&self) -> ConfigId {
+        self.cfg
+    }
+}
+
+/// STTD corrector on its own array instance.
+#[derive(Debug)]
+pub struct ArraySttdCorrector {
+    array: Array,
+    cfg: ConfigId,
+}
+
+impl ArraySttdCorrector {
+    /// Instantiates the STTD corrector.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if placement fails.
+    pub fn new() -> Result<Self> {
+        let mut array = Array::xpp64a();
+        let cfg = array.configure(&sttd_corrector_netlist())?;
+        Ok(ArraySttdCorrector { array, cfg })
+    }
+
+    /// Decodes an even-length symbol stream (r1, r2 pairs) with weights
+    /// `w1`, `w2`, returning the interleaved `ŝ1, ŝ2` stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the simulation stalls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream length is odd.
+    pub fn process(
+        &mut self,
+        symbols: &[Cplx<i32>],
+        w1: Cplx<i32>,
+        w2: Cplx<i32>,
+    ) -> Result<Vec<Cplx<i32>>> {
+        assert!(symbols.len() % 2 == 0, "STTD needs symbol pairs");
+        let (i, q) = split_iq(symbols);
+        let pairs = symbols.len() / 2;
+        let mut wi = Vec::with_capacity(symbols.len());
+        let mut wq = Vec::with_capacity(symbols.len());
+        for _ in 0..pairs {
+            wi.push(Word::new(w1.re));
+            wi.push(Word::new(w2.re));
+            wq.push(Word::new(w1.im));
+            wq.push(Word::new(w2.im));
+        }
+        self.array.push_input(self.cfg, "i_in", i)?;
+        self.array.push_input(self.cfg, "q_in", q)?;
+        self.array.push_input(self.cfg, "wi", wi)?;
+        self.array.push_input(self.cfg, "wq", wq)?;
+        let budget = 24 * symbols.len() as u64 + 4_000;
+        self.array.run_until_output(self.cfg, "i_out", symbols.len(), budget)?;
+        self.array.run_until_idle(4_000)?;
+        let i_out = self.array.drain_output(self.cfg, "i_out")?;
+        let q_out = self.array.drain_output(self.cfg, "q_out")?;
+        Ok(zip_iq(&i_out, &q_out))
+    }
+
+    /// The underlying array.
+    pub fn array(&self) -> &Array {
+        &self.array
+    }
+
+    /// The configuration handle.
+    pub fn config(&self) -> ConfigId {
+        self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rake::finger::correct;
+    use crate::symbols::sttd_decode_fixed;
+
+    fn syms(n: usize, seed: i32) -> Vec<Cplx<i32>> {
+        (0..n as i32)
+            .map(|i| {
+                Cplx::new(
+                    ((i * 211 + seed * 31) % 8191) - 4095,
+                    ((i * 97 + seed * 17) % 8191) - 4095,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn corrector_matches_golden_per_finger() {
+        let fingers = 4;
+        let weights = vec![
+            Cplx::new(512, 0),
+            Cplx::new(0, 512),
+            Cplx::new(-300, 400),
+            Cplx::new(700, -700),
+        ];
+        let per_finger: Vec<Vec<Cplx<i32>>> = (0..fingers).map(|f| syms(8, f as i32)).collect();
+        // Finger-major interleave.
+        let mut muxed = Vec::new();
+        for k in 0..8 {
+            for s in &per_finger {
+                muxed.push(s[k]);
+            }
+        }
+        let mut hw = ArrayCorrector::new(fingers).unwrap();
+        hw.set_weights(&weights).unwrap();
+        let out = hw.process(&muxed).unwrap();
+        for (f, stream) in per_finger.iter().enumerate() {
+            let golden = correct(stream, weights[f]);
+            let got: Vec<Cplx<i32>> =
+                out.iter().skip(f).step_by(fingers).copied().collect();
+            assert_eq!(got, golden, "finger {f}");
+        }
+    }
+
+    #[test]
+    fn corrector_weights_can_be_updated_between_blocks() {
+        let mut hw = ArrayCorrector::new(2).unwrap();
+        let block = syms(8, 3);
+        hw.set_weights(&[Cplx::new(512, 0), Cplx::new(512, 0)]).unwrap();
+        let first = hw.process(&block).unwrap();
+        assert_eq!(first, block); // unit weight = identity
+        hw.set_weights(&[Cplx::new(0, 512), Cplx::new(0, 512)]).unwrap();
+        let second = hw.process(&block).unwrap();
+        let rotated: Vec<Cplx<i32>> = block.iter().map(|s| s.mul_neg_j()).collect();
+        assert_eq!(second, rotated); // conj(j)·s = −j·s
+    }
+
+    #[test]
+    fn sttd_corrector_matches_golden_bit_exact() {
+        let w1 = Cplx::new(430, -120);
+        let w2 = Cplx::new(-90, 380);
+        let symbols = syms(16, 9);
+        let mut hw = ArraySttdCorrector::new().unwrap();
+        let out = hw.process(&symbols, w1, w2).unwrap();
+        for (p, pair) in symbols.chunks_exact(2).enumerate() {
+            let (s1, s2) = sttd_decode_fixed(pair[0], pair[1], w1, w2, WEIGHT_FRAC_BITS);
+            assert_eq!(out[2 * p], s1, "pair {p} s1");
+            assert_eq!(out[2 * p + 1], s2, "pair {p} s2");
+        }
+    }
+
+    #[test]
+    fn sttd_corrector_uses_sixteen_multipliers() {
+        let hw = ArraySttdCorrector::new().unwrap();
+        let p = hw.array().placement(hw.config()).unwrap();
+        // 16 muls + 12 add/sub = 28 ALU objects.
+        assert_eq!(p.counts.alu, 28);
+        assert_eq!(p.counts.io, 6);
+    }
+
+    #[test]
+    fn corrector_resource_footprint() {
+        let hw = ArrayCorrector::new(18).unwrap();
+        let p = hw.array().placement(hw.config()).unwrap();
+        assert_eq!(p.counts.ram, 2); // weight banks
+        assert_eq!(p.counts.alu, 6); // 4 muls + add + sub
+        assert_eq!(p.counts.io, 7);
+    }
+}

@@ -1,0 +1,45 @@
+//! The rake's word-level kernels expressed as XPP configurations.
+//!
+//! These are the paper's Figures 5–7: the descrambler, the despreader and
+//! the channel-correction unit, built from ALU/register/RAM objects and
+//! verified *bit-exact* against the golden models in [`crate::rake::finger`]
+//! and [`crate::symbols`].
+//!
+//! Each kernel comes as a netlist constructor (for embedding into a larger
+//! platform) plus a self-contained wrapper owning a private array instance
+//! (for tests and benchmarks).
+
+pub mod corrector;
+pub mod descrambler;
+pub mod despreader;
+
+pub use corrector::{corrector_netlist, sttd_corrector_netlist, ArrayCorrector, ArraySttdCorrector};
+pub use descrambler::{descrambler_netlist, ArrayDescrambler};
+pub use despreader::{
+    despreader_multiplexed_netlist, despreader_single_netlist, ArrayDespreader,
+    ArrayMultiplexedDespreader, MIN_MULTIPLEXED_FINGERS,
+};
+
+use sdr_dsp::Cplx;
+use xpp_array::Word;
+
+/// Splits a complex integer stream into parallel I and Q word streams.
+pub(crate) fn split_iq(samples: &[Cplx<i32>]) -> (Vec<Word>, Vec<Word>) {
+    (
+        samples.iter().map(|c| Word::new(c.re)).collect(),
+        samples.iter().map(|c| Word::new(c.im)).collect(),
+    )
+}
+
+/// Zips parallel I and Q word streams back into complex samples.
+///
+/// # Panics
+///
+/// Panics if the streams have different lengths.
+pub(crate) fn zip_iq(i: &[Word], q: &[Word]) -> Vec<Cplx<i32>> {
+    assert_eq!(i.len(), q.len(), "I/Q stream length mismatch");
+    i.iter()
+        .zip(q)
+        .map(|(a, b)| Cplx::new(a.value(), b.value()))
+        .collect()
+}

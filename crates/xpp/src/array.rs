@@ -1,0 +1,1106 @@
+//! The reconfigurable array runtime: configuration management, token-flow
+//! simulation and streaming I/O.
+//!
+//! An [`Array`] models one XPP device. Configurations (validated
+//! [`Netlist`]s) are loaded through a serial configuration bus (taking
+//! [`CONFIG_CYCLES_PER_OBJECT`] cycles per object), occupy physical resources
+//! while resident, and execute synchronously: every cycle, every object of
+//! every *running* configuration fires if its token handshake allows. The
+//! configuration manager enforces the paper's protection rule —
+//! "configurations cannot be overwritten illegally" — because resources held
+//! by a resident configuration are never handed to another one.
+
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::fmt;
+
+use crate::channel::Channel;
+use crate::error::{Error, Result};
+use crate::netlist::Netlist;
+use crate::object::{CounterCfg, ObjectKind, RAM_WORDS};
+use crate::place::{Geometry, Placement, ResourceCounts, ResourcePool};
+use crate::stats::ArrayStats;
+use crate::word::{Event, Word};
+
+/// Configuration-bus cost: cycles needed to load one object's configuration
+/// words.
+pub const CONFIG_CYCLES_PER_OBJECT: u64 = 3;
+
+/// Handle to a loaded configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConfigId(u32);
+
+impl ConfigId {
+    /// The numeric id (stable for the lifetime of the array).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for ConfigId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cfg{}", self.0)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ConfigState {
+    Loading { remaining: u64 },
+    Running,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PortDir {
+    DataIn,
+    DataOut,
+    EvIn,
+    EvOut,
+}
+
+#[derive(Debug)]
+struct LoadedConfig {
+    name: String,
+    state: ConfigState,
+    objects: Vec<usize>,
+    dchans: Vec<usize>,
+    echans: Vec<usize>,
+    placement: Placement,
+    ports: HashMap<String, (usize, PortDir)>,
+}
+
+#[derive(Debug)]
+enum ObjState {
+    None,
+    Counter { value: i64, remaining: u64 },
+    Accum(Word),
+    Ram(Vec<Word>),
+    Fifo(VecDeque<Word>),
+    ExtInData(VecDeque<Word>),
+    ExtOutData(Vec<Word>),
+    ExtInEv(VecDeque<bool>),
+    ExtOutEv(Vec<bool>),
+}
+
+#[derive(Debug)]
+struct RuntimeObject {
+    config: u32,
+    kind: ObjectKind,
+    label: String,
+    state: ObjState,
+    fires: u64,
+    din: Vec<Option<usize>>,
+    dout: Vec<Vec<usize>>,
+    evin: Vec<Option<usize>>,
+    evout: Vec<Vec<usize>>,
+}
+
+#[derive(Debug, Clone)]
+struct Connection {
+    from_obj: usize,
+    to_obj: usize,
+    event: bool,
+    from_cfg: u32,
+    to_cfg: u32,
+}
+
+/// A simulated XPP reconfigurable processing array.
+///
+/// # Example
+///
+/// ```
+/// use xpp_array::{AluOp, Array, NetlistBuilder, Word};
+///
+/// # fn main() -> Result<(), xpp_array::Error> {
+/// let mut nl = NetlistBuilder::new("doubler");
+/// let input = nl.input("in");
+/// let two = nl.constant(Word::new(2));
+/// let out = nl.alu(AluOp::Mul, input, two);
+/// nl.output("out", out);
+///
+/// let mut array = Array::xpp64a();
+/// let cfg = array.configure(&nl.build()?)?;
+/// array.push_input(cfg, "in", [1, 2, 3].map(Word::new))?;
+/// array.run_until_idle(1_000)?;
+/// let doubled: Vec<i32> = array.drain_output(cfg, "out")?.iter().map(|w| w.value()).collect();
+/// assert_eq!(doubled, vec![2, 4, 6]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Array {
+    geometry: Geometry,
+    pool: ResourcePool,
+    objects: Vec<Option<RuntimeObject>>,
+    dchans: Vec<Option<Channel<Word>>>,
+    echans: Vec<Option<Channel<Event>>>,
+    configs: BTreeMap<u32, LoadedConfig>,
+    load_queue: VecDeque<u32>,
+    connections: Vec<Connection>,
+    next_id: u32,
+    stats: ArrayStats,
+    config_fires: HashMap<u32, u64>,
+}
+
+impl Array {
+    /// Creates an array with the XPP-64A geometry.
+    pub fn xpp64a() -> Self {
+        Self::with_geometry(Geometry::xpp64a())
+    }
+
+    /// Creates an array with a custom geometry.
+    pub fn with_geometry(geometry: Geometry) -> Self {
+        Array {
+            geometry,
+            pool: ResourcePool::new(geometry),
+            objects: Vec::new(),
+            dchans: Vec::new(),
+            echans: Vec::new(),
+            configs: BTreeMap::new(),
+            load_queue: VecDeque::new(),
+            connections: Vec::new(),
+            next_id: 0,
+            stats: ArrayStats::new(),
+            config_fires: HashMap::new(),
+        }
+    }
+
+    /// The array geometry.
+    pub fn geometry(&self) -> Geometry {
+        self.geometry
+    }
+
+    /// Accumulated activity statistics.
+    pub fn stats(&self) -> ArrayStats {
+        self.stats
+    }
+
+    /// Firings attributed to one configuration so far.
+    pub fn config_fire_count(&self, cfg: ConfigId) -> u64 {
+        self.config_fires.get(&cfg.0).copied().unwrap_or(0)
+    }
+
+    /// Per-object fire counts of a configuration (label, fires) — the
+    /// profiling view a hardware engineer uses to find a stalled pipeline
+    /// stage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NoSuchConfig`] if the id is stale.
+    pub fn object_fire_counts(&self, cfg: ConfigId) -> Result<Vec<(String, u64)>> {
+        let loaded = self.configs.get(&cfg.0).ok_or(Error::NoSuchConfig(cfg.0))?;
+        Ok(loaded
+            .objects
+            .iter()
+            .filter_map(|&o| self.objects[o].as_ref())
+            .map(|o| (o.label.clone(), o.fires))
+            .collect())
+    }
+
+    /// Currently free resources.
+    pub fn free_resources(&self) -> ResourceCounts {
+        self.pool.free()
+    }
+
+    /// Fraction of ALU-PAEs held by resident configurations.
+    pub fn alu_utilization(&self) -> f64 {
+        self.pool.alu_utilization()
+    }
+
+    /// Placement footprint of a resident configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NoSuchConfig`] if the id is stale.
+    pub fn placement(&self, cfg: ConfigId) -> Result<&Placement> {
+        self.configs
+            .get(&cfg.0)
+            .map(|c| &c.placement)
+            .ok_or(Error::NoSuchConfig(cfg.0))
+    }
+
+    /// The name of a resident configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NoSuchConfig`] if the id is stale.
+    pub fn config_name(&self, cfg: ConfigId) -> Result<&str> {
+        self.configs
+            .get(&cfg.0)
+            .map(|c| c.name.as_str())
+            .ok_or(Error::NoSuchConfig(cfg.0))
+    }
+
+    /// True if the configuration has finished loading.
+    pub fn is_running(&self, cfg: ConfigId) -> bool {
+        matches!(
+            self.configs.get(&cfg.0).map(|c| &c.state),
+            Some(ConfigState::Running)
+        )
+    }
+
+    // ---- configuration management ------------------------------------
+
+    /// Places a netlist onto the array and queues it for loading over the
+    /// configuration bus.
+    ///
+    /// The configuration starts executing once loading completes (loading
+    /// progresses as the array runs). Resources are reserved immediately, so
+    /// a conflicting configuration is rejected up front.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::PlacementFailed`] if any resource class is exhausted.
+    pub fn configure(&mut self, netlist: &Netlist) -> Result<ConfigId> {
+        let placement = Placement::of(netlist);
+        self.pool.allocate(placement.counts)?;
+        let id = self.next_id;
+        self.next_id += 1;
+
+        // Instantiate channels.
+        let mut d_map: HashMap<(usize, usize), Vec<usize>> = HashMap::new(); // from-port -> chans
+        let mut d_in: HashMap<(usize, usize), usize> = HashMap::new(); // to-port -> chan
+        let mut dchan_ids = Vec::new();
+        for e in &netlist.data_edges {
+            let idx = self.alloc_dchan(Channel::new(e.capacity, e.initial.iter().copied()));
+            dchan_ids.push(idx);
+            d_map.entry(e.from).or_default().push(idx);
+            d_in.insert(e.to, idx);
+        }
+        let mut e_map: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
+        let mut e_in: HashMap<(usize, usize), usize> = HashMap::new();
+        let mut echan_ids = Vec::new();
+        for e in &netlist.ev_edges {
+            let idx = self.alloc_echan(Channel::new(e.capacity, e.initial.iter().map(|&b| Event(b))));
+            echan_ids.push(idx);
+            e_map.entry(e.from).or_default().push(idx);
+            e_in.insert(e.to, idx);
+        }
+
+        // Instantiate objects.
+        let mut obj_ids = Vec::new();
+        let mut ports = HashMap::new();
+        for (n, spec) in netlist.nodes.iter().enumerate() {
+            let shape = spec.kind.shape();
+            let state = match &spec.kind {
+                ObjectKind::Counter(_) => ObjState::Counter { value: 0, remaining: 0 },
+                ObjectKind::AccumDump => ObjState::Accum(Word::ZERO),
+                ObjectKind::Ram { preload } => {
+                    let mut mem = vec![Word::ZERO; RAM_WORDS];
+                    mem[..preload.len()].copy_from_slice(preload);
+                    ObjState::Ram(mem)
+                }
+                ObjectKind::RamFifo { preload, .. } => {
+                    ObjState::Fifo(preload.iter().copied().collect())
+                }
+                ObjectKind::Input(_) => ObjState::ExtInData(VecDeque::new()),
+                ObjectKind::Output(_) => ObjState::ExtOutData(Vec::new()),
+                ObjectKind::InputEvent(_) => ObjState::ExtInEv(VecDeque::new()),
+                ObjectKind::OutputEvent(_) => ObjState::ExtOutEv(Vec::new()),
+                _ => ObjState::None,
+            };
+            let obj = RuntimeObject {
+                config: id,
+                kind: spec.kind.clone(),
+                label: spec.label.clone(),
+                state,
+                fires: 0,
+                din: (0..shape.din).map(|p| d_in.get(&(n, p)).copied()).collect(),
+                dout: (0..shape.dout)
+                    .map(|p| d_map.get(&(n, p)).cloned().unwrap_or_default())
+                    .collect(),
+                evin: (0..shape.evin).map(|p| e_in.get(&(n, p)).copied()).collect(),
+                evout: (0..shape.evout)
+                    .map(|p| e_map.get(&(n, p)).cloned().unwrap_or_default())
+                    .collect(),
+            };
+            let oid = self.alloc_object(obj);
+            obj_ids.push(oid);
+            match &spec.kind {
+                ObjectKind::Input(name) => {
+                    ports.insert(name.clone(), (oid, PortDir::DataIn));
+                }
+                ObjectKind::Output(name) => {
+                    ports.insert(name.clone(), (oid, PortDir::DataOut));
+                }
+                ObjectKind::InputEvent(name) => {
+                    ports.insert(name.clone(), (oid, PortDir::EvIn));
+                }
+                ObjectKind::OutputEvent(name) => {
+                    ports.insert(name.clone(), (oid, PortDir::EvOut));
+                }
+                _ => {}
+            }
+        }
+
+        let remaining = netlist.object_count() as u64 * CONFIG_CYCLES_PER_OBJECT;
+        self.configs.insert(
+            id,
+            LoadedConfig {
+                name: netlist.name().to_string(),
+                state: ConfigState::Loading { remaining },
+                objects: obj_ids,
+                dchans: dchan_ids,
+                echans: echan_ids,
+                placement,
+                ports,
+            },
+        );
+        self.load_queue.push_back(id);
+        self.config_fires.insert(id, 0);
+        Ok(ConfigId(id))
+    }
+
+    /// Removes a configuration, releasing its resources for reuse — the
+    /// paper's differential reconfiguration (Fig. 10): a follow-on
+    /// configuration can be placed into the freed PAEs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NoSuchConfig`] if the id is stale.
+    pub fn unload(&mut self, cfg: ConfigId) -> Result<()> {
+        let loaded = self.configs.remove(&cfg.0).ok_or(Error::NoSuchConfig(cfg.0))?;
+        for o in &loaded.objects {
+            self.objects[*o] = None;
+        }
+        for c in &loaded.dchans {
+            self.dchans[*c] = None;
+        }
+        for c in &loaded.echans {
+            self.echans[*c] = None;
+        }
+        self.pool.release(loaded.placement.counts);
+        self.load_queue.retain(|&q| q != cfg.0);
+        self.connections
+            .retain(|c| c.from_cfg != cfg.0 && c.to_cfg != cfg.0);
+        Ok(())
+    }
+
+    fn alloc_object(&mut self, obj: RuntimeObject) -> usize {
+        if let Some(slot) = self.objects.iter().position(Option::is_none) {
+            self.objects[slot] = Some(obj);
+            slot
+        } else {
+            self.objects.push(Some(obj));
+            self.objects.len() - 1
+        }
+    }
+
+    fn alloc_dchan(&mut self, ch: Channel<Word>) -> usize {
+        if let Some(slot) = self.dchans.iter().position(Option::is_none) {
+            self.dchans[slot] = Some(ch);
+            slot
+        } else {
+            self.dchans.push(Some(ch));
+            self.dchans.len() - 1
+        }
+    }
+
+    fn alloc_echan(&mut self, ch: Channel<Event>) -> usize {
+        if let Some(slot) = self.echans.iter().position(Option::is_none) {
+            self.echans[slot] = Some(ch);
+            slot
+        } else {
+            self.echans.push(Some(ch));
+            self.echans.len() - 1
+        }
+    }
+
+    // ---- streaming I/O --------------------------------------------------
+
+    fn port(&self, cfg: ConfigId, name: &str, dir: PortDir) -> Result<usize> {
+        let loaded = self.configs.get(&cfg.0).ok_or(Error::NoSuchConfig(cfg.0))?;
+        match loaded.ports.get(name) {
+            Some(&(obj, d)) if d == dir => Ok(obj),
+            _ => Err(Error::UnknownPort(name.to_string())),
+        }
+    }
+
+    /// Queues words on a named input port (buffered outside the array until
+    /// the configuration consumes them).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration or port does not exist.
+    pub fn push_input(
+        &mut self,
+        cfg: ConfigId,
+        name: &str,
+        words: impl IntoIterator<Item = Word>,
+    ) -> Result<()> {
+        let obj = self.port(cfg, name, PortDir::DataIn)?;
+        if let Some(RuntimeObject { state: ObjState::ExtInData(q), .. }) =
+            self.objects[obj].as_mut()
+        {
+            q.extend(words);
+            Ok(())
+        } else {
+            Err(Error::UnknownPort(name.to_string()))
+        }
+    }
+
+    /// Queues events on a named event input port.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration or port does not exist.
+    pub fn push_input_events(
+        &mut self,
+        cfg: ConfigId,
+        name: &str,
+        events: impl IntoIterator<Item = bool>,
+    ) -> Result<()> {
+        let obj = self.port(cfg, name, PortDir::EvIn)?;
+        if let Some(RuntimeObject { state: ObjState::ExtInEv(q), .. }) = self.objects[obj].as_mut()
+        {
+            q.extend(events);
+            Ok(())
+        } else {
+            Err(Error::UnknownPort(name.to_string()))
+        }
+    }
+
+    /// Takes all words produced so far on a named output port.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration or port does not exist.
+    pub fn drain_output(&mut self, cfg: ConfigId, name: &str) -> Result<Vec<Word>> {
+        let obj = self.port(cfg, name, PortDir::DataOut)?;
+        if let Some(RuntimeObject { state: ObjState::ExtOutData(v), .. }) =
+            self.objects[obj].as_mut()
+        {
+            Ok(std::mem::take(v))
+        } else {
+            Err(Error::UnknownPort(name.to_string()))
+        }
+    }
+
+    /// Takes all events produced so far on a named event output port.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration or port does not exist.
+    pub fn drain_output_events(&mut self, cfg: ConfigId, name: &str) -> Result<Vec<bool>> {
+        let obj = self.port(cfg, name, PortDir::EvOut)?;
+        if let Some(RuntimeObject { state: ObjState::ExtOutEv(v), .. }) = self.objects[obj].as_mut()
+        {
+            Ok(std::mem::take(v))
+        } else {
+            Err(Error::UnknownPort(name.to_string()))
+        }
+    }
+
+    /// Number of words waiting on an output port.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration or port does not exist.
+    pub fn output_len(&self, cfg: ConfigId, name: &str) -> Result<usize> {
+        let obj = self.port(cfg, name, PortDir::DataOut)?;
+        if let Some(RuntimeObject { state: ObjState::ExtOutData(v), .. }) = self.objects[obj].as_ref()
+        {
+            Ok(v.len())
+        } else {
+            Err(Error::UnknownPort(name.to_string()))
+        }
+    }
+
+    /// Routes an output port of one configuration into an input port of
+    /// another — the board-level stream routing the evaluation platform's
+    /// FPGA provides (Fig. 11). Tokens move once per cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either endpoint does not exist or the directions
+    /// do not match.
+    pub fn connect(
+        &mut self,
+        from: ConfigId,
+        from_port: &str,
+        to: ConfigId,
+        to_port: &str,
+    ) -> Result<()> {
+        let from_obj = self.port(from, from_port, PortDir::DataOut)?;
+        let to_obj = self.port(to, to_port, PortDir::DataIn)?;
+        self.connections.push(Connection {
+            from_obj,
+            to_obj,
+            event: false,
+            from_cfg: from.0,
+            to_cfg: to.0,
+        });
+        Ok(())
+    }
+
+    /// Routes an event output port into an event input port of another
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either endpoint does not exist or the directions
+    /// do not match.
+    pub fn connect_events(
+        &mut self,
+        from: ConfigId,
+        from_port: &str,
+        to: ConfigId,
+        to_port: &str,
+    ) -> Result<()> {
+        let from_obj = self.port(from, from_port, PortDir::EvOut)?;
+        let to_obj = self.port(to, to_port, PortDir::EvIn)?;
+        self.connections.push(Connection {
+            from_obj,
+            to_obj,
+            event: true,
+            from_cfg: from.0,
+            to_cfg: to.0,
+        });
+        Ok(())
+    }
+
+    // ---- simulation -----------------------------------------------------
+
+    /// Advances one clock cycle. Returns `true` if any activity occurred
+    /// (an object fired, a load progressed, or a board connection moved
+    /// tokens).
+    pub fn step(&mut self) -> bool {
+        self.stats.cycles += 1;
+        let mut active = false;
+
+        // Configuration bus: the front of the queue loads.
+        if let Some(&front) = self.load_queue.front() {
+            active = true;
+            self.stats.config_cycles += 1;
+            let cfg = self.configs.get_mut(&front).expect("queued config exists");
+            if let ConfigState::Loading { remaining } = &mut cfg.state {
+                *remaining = remaining.saturating_sub(1);
+                if *remaining == 0 {
+                    cfg.state = ConfigState::Running;
+                    self.stats.configs_loaded += 1;
+                    self.load_queue.pop_front();
+                }
+            }
+        }
+
+        // Which configs are running this cycle?
+        let loading: HashSet<u32> = self.load_queue.iter().copied().collect();
+
+        // Fire phase.
+        let Array { objects, dchans, echans, stats, config_fires, .. } = self;
+        for obj in objects.iter_mut().flatten() {
+            if loading.contains(&obj.config) {
+                continue;
+            }
+            let fires = fire_object(obj, dchans, echans, stats);
+            if fires > 0 {
+                active = true;
+                obj.fires += fires as u64;
+                *config_fires.entry(obj.config).or_insert(0) += fires as u64;
+            }
+        }
+
+        // Commit phase.
+        for ch in self.dchans.iter_mut().flatten() {
+            ch.commit();
+        }
+        for ch in self.echans.iter_mut().flatten() {
+            ch.commit();
+        }
+
+        // Board-level connections.
+        for conn in &self.connections {
+            if conn.event {
+                let moved = match self.objects[conn.from_obj].as_mut() {
+                    Some(RuntimeObject { state: ObjState::ExtOutEv(v), .. }) => std::mem::take(v),
+                    _ => Vec::new(),
+                };
+                if !moved.is_empty() {
+                    active = true;
+                    if let Some(RuntimeObject { state: ObjState::ExtInEv(q), .. }) =
+                        self.objects[conn.to_obj].as_mut()
+                    {
+                        q.extend(moved);
+                    }
+                }
+            } else {
+                let moved = match self.objects[conn.from_obj].as_mut() {
+                    Some(RuntimeObject { state: ObjState::ExtOutData(v), .. }) => std::mem::take(v),
+                    _ => Vec::new(),
+                };
+                if !moved.is_empty() {
+                    active = true;
+                    if let Some(RuntimeObject { state: ObjState::ExtInData(q), .. }) =
+                        self.objects[conn.to_obj].as_mut()
+                    {
+                        q.extend(moved);
+                    }
+                }
+            }
+        }
+
+        active
+    }
+
+    /// Runs exactly `cycles` clock cycles.
+    pub fn run(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.step();
+        }
+    }
+
+    /// Runs until a full cycle passes with no activity, returning the number
+    /// of cycles executed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Timeout`] if the array is still active after
+    /// `budget` cycles (e.g. a free-running counter with an unbounded sink).
+    pub fn run_until_idle(&mut self, budget: u64) -> Result<u64> {
+        for n in 0..budget {
+            if !self.step() {
+                return Ok(n + 1);
+            }
+        }
+        Err(Error::Timeout { budget })
+    }
+
+    /// Runs until `count` words are available on the named output port.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Timeout`] if the budget expires first, or an error
+    /// if the port does not exist.
+    pub fn run_until_output(
+        &mut self,
+        cfg: ConfigId,
+        name: &str,
+        count: usize,
+        budget: u64,
+    ) -> Result<u64> {
+        for n in 0..budget {
+            if self.output_len(cfg, name)? >= count {
+                return Ok(n);
+            }
+            self.step();
+        }
+        if self.output_len(cfg, name)? >= count {
+            Ok(budget)
+        } else {
+            Err(Error::Timeout { budget })
+        }
+    }
+}
+
+// ---- firing rules -------------------------------------------------------
+
+fn can_put_d(dchans: &[Option<Channel<Word>>], list: &[usize]) -> bool {
+    list.iter().all(|&c| dchans[c].as_ref().expect("live channel").has_space())
+}
+
+fn put_d(dchans: &mut [Option<Channel<Word>>], list: &[usize], w: Word) {
+    for &c in list {
+        dchans[c].as_mut().expect("live channel").produce(w);
+    }
+}
+
+fn can_put_e(echans: &[Option<Channel<Event>>], list: &[usize]) -> bool {
+    list.iter().all(|&c| echans[c].as_ref().expect("live channel").has_space())
+}
+
+fn put_e(echans: &mut [Option<Channel<Event>>], list: &[usize], e: Event) {
+    for &c in list {
+        echans[c].as_mut().expect("live channel").produce(e);
+    }
+}
+
+fn has_d(dchans: &[Option<Channel<Word>>], ch: Option<usize>) -> bool {
+    ch.map(|c| dchans[c].as_ref().expect("live channel").has_token())
+        .unwrap_or(false)
+}
+
+fn take_d(dchans: &mut [Option<Channel<Word>>], ch: usize) -> Word {
+    dchans[ch].as_mut().expect("live channel").consume()
+}
+
+fn has_e(echans: &[Option<Channel<Event>>], ch: Option<usize>) -> bool {
+    ch.map(|c| echans[c].as_ref().expect("live channel").has_token())
+        .unwrap_or(false)
+}
+
+fn peek_e(echans: &[Option<Channel<Event>>], ch: usize) -> Event {
+    echans[ch].as_ref().expect("live channel").peek().expect("token present")
+}
+
+fn take_e(echans: &mut [Option<Channel<Event>>], ch: usize) -> Event {
+    echans[ch].as_mut().expect("live channel").consume()
+}
+
+/// Fires every enabled rule of one object; returns the number of rule fires.
+fn fire_object(
+    obj: &mut RuntimeObject,
+    dchans: &mut [Option<Channel<Word>>],
+    echans: &mut [Option<Channel<Event>>],
+    stats: &mut ArrayStats,
+) -> u32 {
+    match &obj.kind {
+        ObjectKind::Alu(op) => {
+            if has_d(dchans, obj.din[0]) && has_d(dchans, obj.din[1]) && can_put_d(dchans, &obj.dout[0])
+            {
+                let a = take_d(dchans, obj.din[0].unwrap());
+                let b = take_d(dchans, obj.din[1].unwrap());
+                put_d(dchans, &obj.dout[0], op.eval(a, b));
+                if op.uses_multiplier() {
+                    stats.mul_fires += 1;
+                } else {
+                    stats.alu_fires += 1;
+                }
+                1
+            } else {
+                0
+            }
+        }
+        ObjectKind::Unary(op) => {
+            if has_d(dchans, obj.din[0]) && can_put_d(dchans, &obj.dout[0]) {
+                let a = take_d(dchans, obj.din[0].unwrap());
+                put_d(dchans, &obj.dout[0], op.eval(a));
+                if op.uses_multiplier() {
+                    stats.mul_fires += 1;
+                } else {
+                    stats.reg_fires += 1;
+                }
+                1
+            } else {
+                0
+            }
+        }
+        ObjectKind::Const(k) => {
+            if !obj.dout[0].is_empty() && can_put_d(dchans, &obj.dout[0]) {
+                put_d(dchans, &obj.dout[0], *k);
+                stats.reg_fires += 1;
+                1
+            } else {
+                0
+            }
+        }
+        ObjectKind::Counter(cfg) => {
+            let cfg = *cfg;
+            fire_counter(obj, cfg, dchans, echans, stats)
+        }
+        ObjectKind::Select => {
+            if has_d(dchans, obj.din[0])
+                && has_d(dchans, obj.din[1])
+                && has_e(echans, obj.evin[0])
+                && can_put_d(dchans, &obj.dout[0])
+            {
+                let sel = take_e(echans, obj.evin[0].unwrap());
+                let a = take_d(dchans, obj.din[0].unwrap());
+                let b = take_d(dchans, obj.din[1].unwrap());
+                put_d(dchans, &obj.dout[0], if sel.0 { b } else { a });
+                stats.reg_fires += 1;
+                1
+            } else {
+                0
+            }
+        }
+        ObjectKind::Merge => {
+            if has_e(echans, obj.evin[0]) && can_put_d(dchans, &obj.dout[0]) {
+                let sel = peek_e(echans, obj.evin[0].unwrap());
+                let port = if sel.0 { 1 } else { 0 };
+                if has_d(dchans, obj.din[port]) {
+                    take_e(echans, obj.evin[0].unwrap());
+                    let v = take_d(dchans, obj.din[port].unwrap());
+                    put_d(dchans, &obj.dout[0], v);
+                    stats.reg_fires += 1;
+                    return 1;
+                }
+            }
+            0
+        }
+        ObjectKind::Demux => {
+            if has_d(dchans, obj.din[0]) && has_e(echans, obj.evin[0]) {
+                let sel = peek_e(echans, obj.evin[0].unwrap());
+                let port = if sel.0 { 1 } else { 0 };
+                if can_put_d(dchans, &obj.dout[port]) {
+                    take_e(echans, obj.evin[0].unwrap());
+                    let v = take_d(dchans, obj.din[0].unwrap());
+                    put_d(dchans, &obj.dout[port], v);
+                    stats.reg_fires += 1;
+                    return 1;
+                }
+            }
+            0
+        }
+        ObjectKind::Swap => {
+            if has_d(dchans, obj.din[0])
+                && has_d(dchans, obj.din[1])
+                && has_e(echans, obj.evin[0])
+                && can_put_d(dchans, &obj.dout[0])
+                && can_put_d(dchans, &obj.dout[1])
+            {
+                let sel = take_e(echans, obj.evin[0].unwrap());
+                let a = take_d(dchans, obj.din[0].unwrap());
+                let b = take_d(dchans, obj.din[1].unwrap());
+                let (x, y) = if sel.0 { (b, a) } else { (a, b) };
+                put_d(dchans, &obj.dout[0], x);
+                put_d(dchans, &obj.dout[1], y);
+                stats.reg_fires += 1;
+                1
+            } else {
+                0
+            }
+        }
+        ObjectKind::Gate => {
+            if has_d(dchans, obj.din[0]) && has_e(echans, obj.evin[0]) {
+                let pass = peek_e(echans, obj.evin[0].unwrap()).0;
+                if pass && !can_put_d(dchans, &obj.dout[0]) {
+                    return 0;
+                }
+                take_e(echans, obj.evin[0].unwrap());
+                let v = take_d(dchans, obj.din[0].unwrap());
+                if pass {
+                    put_d(dchans, &obj.dout[0], v);
+                }
+                stats.reg_fires += 1;
+                1
+            } else {
+                0
+            }
+        }
+        ObjectKind::AccumDump => {
+            if has_d(dchans, obj.din[0]) && has_e(echans, obj.evin[0]) {
+                let dump = peek_e(echans, obj.evin[0].unwrap()).0;
+                if dump && !can_put_d(dchans, &obj.dout[0]) {
+                    return 0;
+                }
+                take_e(echans, obj.evin[0].unwrap());
+                let v = take_d(dchans, obj.din[0].unwrap());
+                if let ObjState::Accum(acc) = &mut obj.state {
+                    *acc = acc.wrapping_add(v);
+                    if dump {
+                        let out = *acc;
+                        *acc = Word::ZERO;
+                        put_d(dchans, &obj.dout[0], out);
+                    }
+                }
+                stats.alu_fires += 1;
+                1
+            } else {
+                0
+            }
+        }
+        ObjectKind::ToEvent => {
+            if has_d(dchans, obj.din[0]) && can_put_e(echans, &obj.evout[0]) {
+                let v = take_d(dchans, obj.din[0].unwrap());
+                put_e(echans, &obj.evout[0], Event(v.truthy()));
+                stats.event_fires += 1;
+                1
+            } else {
+                0
+            }
+        }
+        ObjectKind::ToData => {
+            if has_e(echans, obj.evin[0]) && can_put_d(dchans, &obj.dout[0]) {
+                let e = take_e(echans, obj.evin[0].unwrap());
+                put_d(dchans, &obj.dout[0], Word::new(e.0 as i32));
+                stats.reg_fires += 1;
+                1
+            } else {
+                0
+            }
+        }
+        ObjectKind::EventNot => {
+            if has_e(echans, obj.evin[0]) && can_put_e(echans, &obj.evout[0]) {
+                let e = take_e(echans, obj.evin[0].unwrap());
+                put_e(echans, &obj.evout[0], Event(!e.0));
+                stats.event_fires += 1;
+                1
+            } else {
+                0
+            }
+        }
+        ObjectKind::EventAnd | ObjectKind::EventOr => {
+            if has_e(echans, obj.evin[0])
+                && has_e(echans, obj.evin[1])
+                && can_put_e(echans, &obj.evout[0])
+            {
+                let a = take_e(echans, obj.evin[0].unwrap());
+                let b = take_e(echans, obj.evin[1].unwrap());
+                let r = if matches!(obj.kind, ObjectKind::EventAnd) {
+                    a.0 && b.0
+                } else {
+                    a.0 || b.0
+                };
+                put_e(echans, &obj.evout[0], Event(r));
+                stats.event_fires += 1;
+                1
+            } else {
+                0
+            }
+        }
+        ObjectKind::Ram { .. } => {
+            let mut fires = 0;
+            // Write rule first: write-through within the cycle.
+            if obj.din[1].is_some()
+                && obj.din[2].is_some()
+                && has_d(dchans, obj.din[1])
+                && has_d(dchans, obj.din[2])
+            {
+                let a = take_d(dchans, obj.din[1].unwrap()).bits() as usize % RAM_WORDS;
+                let v = take_d(dchans, obj.din[2].unwrap());
+                if let ObjState::Ram(mem) = &mut obj.state {
+                    mem[a] = v;
+                }
+                stats.ram_writes += 1;
+                fires += 1;
+            }
+            if obj.din[0].is_some() && has_d(dchans, obj.din[0]) && can_put_d(dchans, &obj.dout[0]) {
+                let a = take_d(dchans, obj.din[0].unwrap()).bits() as usize % RAM_WORDS;
+                let v = if let ObjState::Ram(mem) = &obj.state { mem[a] } else { Word::ZERO };
+                put_d(dchans, &obj.dout[0], v);
+                stats.ram_reads += 1;
+                fires += 1;
+            }
+            fires
+        }
+        ObjectKind::RamFifo { depth, ring, .. } => {
+            let depth = *depth;
+            if *ring {
+                if can_put_d(dchans, &obj.dout[0]) && !obj.dout[0].is_empty() {
+                    if let ObjState::Fifo(buf) = &mut obj.state {
+                        if let Some(v) = buf.pop_front() {
+                            put_d(dchans, &obj.dout[0], v);
+                            buf.push_back(v);
+                            stats.fifo_fires += 1;
+                            return 1;
+                        }
+                    }
+                }
+                0
+            } else {
+                let mut fires = 0;
+                let mut popped = false;
+                if let ObjState::Fifo(buf) = &mut obj.state {
+                    if !buf.is_empty() && can_put_d(dchans, &obj.dout[0]) {
+                        put_d(dchans, &obj.dout[0], *buf.front().expect("nonempty"));
+                        popped = true;
+                        stats.fifo_fires += 1;
+                        fires += 1;
+                    }
+                }
+                let space = if let ObjState::Fifo(buf) = &obj.state {
+                    buf.len() - usize::from(popped) < depth
+                } else {
+                    false
+                };
+                if space && has_d(dchans, obj.din[0]) {
+                    let v = take_d(dchans, obj.din[0].unwrap());
+                    if let ObjState::Fifo(buf) = &mut obj.state {
+                        buf.push_back(v);
+                    }
+                    stats.fifo_fires += 1;
+                    fires += 1;
+                }
+                if popped {
+                    if let ObjState::Fifo(buf) = &mut obj.state {
+                        buf.pop_front();
+                    }
+                }
+                fires
+            }
+        }
+        ObjectKind::Input(_) => {
+            if can_put_d(dchans, &obj.dout[0]) {
+                if let ObjState::ExtInData(q) = &mut obj.state {
+                    if let Some(v) = q.pop_front() {
+                        put_d(dchans, &obj.dout[0], v);
+                        stats.io_words += 1;
+                        return 1;
+                    }
+                }
+            }
+            0
+        }
+        ObjectKind::Output(_) => {
+            if has_d(dchans, obj.din[0]) {
+                let v = take_d(dchans, obj.din[0].unwrap());
+                if let ObjState::ExtOutData(buf) = &mut obj.state {
+                    buf.push(v);
+                }
+                stats.io_words += 1;
+                1
+            } else {
+                0
+            }
+        }
+        ObjectKind::InputEvent(_) => {
+            if can_put_e(echans, &obj.evout[0]) {
+                if let ObjState::ExtInEv(q) = &mut obj.state {
+                    if let Some(v) = q.pop_front() {
+                        put_e(echans, &obj.evout[0], Event(v));
+                        stats.event_fires += 1;
+                        return 1;
+                    }
+                }
+            }
+            0
+        }
+        ObjectKind::OutputEvent(_) => {
+            if has_e(echans, obj.evin[0]) {
+                let e = take_e(echans, obj.evin[0].unwrap());
+                if let ObjState::ExtOutEv(buf) = &mut obj.state {
+                    buf.push(e.0);
+                }
+                stats.event_fires += 1;
+                1
+            } else {
+                0
+            }
+        }
+    }
+}
+
+fn fire_counter(
+    obj: &mut RuntimeObject,
+    cfg: CounterCfg,
+    dchans: &mut [Option<Channel<Word>>],
+    echans: &mut [Option<Channel<Event>>],
+    stats: &mut ArrayStats,
+) -> u32 {
+    let mut fires = 0;
+    let (value, remaining) = match &mut obj.state {
+        ObjState::Counter { value, remaining } => (value, remaining),
+        _ => unreachable!("counter state"),
+    };
+    if *remaining == 0 {
+        if cfg.gated {
+            if has_e(echans, obj.evin[0]) {
+                take_e(echans, obj.evin[0].unwrap());
+                *remaining = cfg.period;
+                *value = cfg.start;
+                stats.event_fires += 1;
+                fires += 1;
+            } else {
+                return 0;
+            }
+        } else {
+            *remaining = cfg.period;
+            *value = cfg.start;
+        }
+    }
+    // A counter with no data consumers would fire forever without moving a
+    // token; require at least one connected value channel.
+    if obj.dout[0].is_empty() {
+        return fires;
+    }
+    let last = *remaining == 1;
+    if can_put_d(dchans, &obj.dout[0]) && (!last || can_put_e(echans, &obj.evout[0])) {
+        put_d(dchans, &obj.dout[0], Word::from_i64(*value));
+        if last {
+            put_e(echans, &obj.evout[0], Event(true));
+        }
+        *value += cfg.step;
+        *remaining -= 1;
+        stats.reg_fires += 1;
+        fires += 1;
+    }
+    fires
+}

@@ -1,0 +1,198 @@
+//! Token channels: the handshake-protocol communication resources.
+//!
+//! Every channel is point-to-point (one producer port, one consumer port;
+//! fan-out is modelled as several channels from the same port). Objects make
+//! fire/stall decisions against the channel state *at the start of the
+//! cycle*; consumptions and productions are staged and committed at the end
+//! of the cycle, which makes the simulation order-independent and reproduces
+//! the hardware's synchronous token movement.
+
+use std::collections::VecDeque;
+
+/// A bounded token channel.
+///
+/// Capacity 2 (one output register plus one forward register) sustains one
+/// token per cycle through a pipeline; capacity 1 halves throughput — this is
+/// the `ablation_channel_capacity` experiment.
+#[derive(Debug, Clone)]
+pub struct Channel<T> {
+    queue: VecDeque<T>,
+    capacity: usize,
+    staged_pop: bool,
+    staged_push: Option<T>,
+}
+
+impl<T: Copy> Channel<T> {
+    /// Creates a channel with the given capacity and initial tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the initial tokens exceed the capacity or capacity is 0
+    /// (the netlist builder validates this earlier).
+    pub fn new(capacity: usize, initial: impl IntoIterator<Item = T>) -> Self {
+        assert!(capacity >= 1, "channel capacity must be at least 1");
+        let queue: VecDeque<T> = initial.into_iter().collect();
+        assert!(queue.len() <= capacity, "initial tokens exceed capacity");
+        Channel { queue, capacity, staged_pop: false, staged_push: None }
+    }
+
+    /// True if a token is available for consumption this cycle.
+    #[inline]
+    pub fn has_token(&self) -> bool {
+        !self.queue.is_empty()
+    }
+
+    /// The token that would be consumed this cycle.
+    #[inline]
+    pub fn peek(&self) -> Option<T> {
+        self.queue.front().copied()
+    }
+
+    /// Stages consumption of the front token and returns it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel is empty or was already consumed this cycle.
+    #[inline]
+    pub fn consume(&mut self) -> T {
+        assert!(!self.staged_pop, "channel consumed twice in one cycle");
+        self.staged_pop = true;
+        *self.queue.front().expect("consume from empty channel")
+    }
+
+    /// True if the producer may emit into this channel this cycle
+    /// (conservative: based on start-of-cycle occupancy).
+    #[inline]
+    pub fn has_space(&self) -> bool {
+        self.staged_push.is_none() && self.queue.len() < self.capacity
+    }
+
+    /// Stages production of a token.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel has no space or was already produced into.
+    #[inline]
+    pub fn produce(&mut self, value: T) {
+        assert!(self.has_space(), "produce into full channel");
+        self.staged_push = Some(value);
+    }
+
+    /// Commits staged operations at the end of a cycle. Returns `true` if
+    /// any token moved (used for idle detection).
+    pub fn commit(&mut self) -> bool {
+        let mut moved = false;
+        if self.staged_pop {
+            self.queue.pop_front();
+            self.staged_pop = false;
+            moved = true;
+        }
+        if let Some(v) = self.staged_push.take() {
+            debug_assert!(self.queue.len() < self.capacity);
+            self.queue.push_back(v);
+            moved = true;
+        }
+        moved
+    }
+
+    /// Current occupancy (committed tokens).
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True if no committed tokens are present.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produce_consume_commit_cycle() {
+        let mut ch: Channel<i32> = Channel::new(2, []);
+        assert!(!ch.has_token());
+        assert!(ch.has_space());
+        ch.produce(5);
+        // Not visible until commit.
+        assert!(!ch.has_token());
+        assert!(ch.commit());
+        assert!(ch.has_token());
+        assert_eq!(ch.peek(), Some(5));
+        assert_eq!(ch.consume(), 5);
+        // Still visible until commit.
+        assert!(ch.has_token());
+        assert!(ch.commit());
+        assert!(!ch.has_token());
+    }
+
+    #[test]
+    fn same_cycle_produce_and_consume_pipeline() {
+        // Steady state: one token in flight, both producer and consumer act
+        // every cycle — sustained throughput 1/cycle at capacity 2.
+        let mut ch: Channel<i32> = Channel::new(2, [1]);
+        for n in 2..10 {
+            assert!(ch.has_token());
+            assert!(ch.has_space());
+            let got = ch.consume();
+            assert_eq!(got, n - 1);
+            ch.produce(n);
+            ch.commit();
+            assert_eq!(ch.len(), 1);
+        }
+    }
+
+    #[test]
+    fn capacity_one_blocks_simultaneous_use() {
+        let mut ch: Channel<i32> = Channel::new(1, [1]);
+        assert!(ch.has_token());
+        assert!(!ch.has_space()); // full: producer must stall
+        ch.consume();
+        ch.commit();
+        assert!(ch.has_space());
+    }
+
+    #[test]
+    fn initial_tokens_present() {
+        let ch: Channel<i32> = Channel::new(2, [7, 8]);
+        assert_eq!(ch.len(), 2);
+        assert_eq!(ch.peek(), Some(7));
+    }
+
+    #[test]
+    #[should_panic]
+    fn overfull_initial_rejected() {
+        let _ = Channel::new(1, [1, 2]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_consume_panics() {
+        let mut ch: Channel<i32> = Channel::new(2, [1]);
+        ch.consume();
+        ch.consume();
+    }
+
+    #[test]
+    #[should_panic]
+    fn produce_into_full_panics() {
+        let mut ch: Channel<i32> = Channel::new(1, [1]);
+        ch.produce(2);
+    }
+
+    #[test]
+    fn commit_reports_movement() {
+        let mut ch: Channel<i32> = Channel::new(2, []);
+        assert!(!ch.commit());
+        ch.produce(1);
+        assert!(ch.commit());
+        assert!(!ch.commit());
+    }
+}

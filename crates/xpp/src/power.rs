@@ -1,0 +1,194 @@
+//! Activity-based energy/area model, standing in for the XPP-64A silicon
+//! numbers (paper Fig. 12, 0.13 µm STMicroelectronics HCMOS9).
+//!
+//! The paper reports the device layout but no per-operation energies, so the
+//! constants here are engineering estimates for a 0.13 µm standard-cell
+//! datapath (documented per field). The experiments report *relative*
+//! quantities — power of kernel A vs. kernel B, pipelined vs. stalled — which
+//! are robust against the absolute calibration.
+
+use crate::place::Geometry;
+use crate::stats::ArrayStats;
+
+/// Per-event energies in picojoules, plus leakage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Energy per simple ALU operation (add, compare, logic).
+    pub pj_alu: f64,
+    /// Energy per multiplier operation (24×24).
+    pub pj_mul: f64,
+    /// Energy per register-class firing (route, merge, counter step).
+    pub pj_reg: f64,
+    /// Energy per RAM read.
+    pub pj_ram_read: f64,
+    /// Energy per RAM write.
+    pub pj_ram_write: f64,
+    /// Energy per FIFO access.
+    pub pj_fifo: f64,
+    /// Energy per word crossing an I/O port.
+    pub pj_io: f64,
+    /// Energy per event-network firing.
+    pub pj_event: f64,
+    /// Energy per configuration-bus cycle.
+    pub pj_config: f64,
+    /// Leakage energy per PAE per cycle (dual-Vt HCMOS9 keeps this small).
+    pub pj_leak_per_pae_cycle: f64,
+}
+
+impl EnergyModel {
+    /// Estimates for the 0.13 µm HCMOS9 process the XPP-64A was fabricated
+    /// in (dual-Vt, 1.2 V core).
+    pub fn hcmos9_130nm() -> Self {
+        EnergyModel {
+            pj_alu: 6.0,
+            pj_mul: 22.0,
+            pj_reg: 1.5,
+            pj_ram_read: 9.0,
+            pj_ram_write: 10.0,
+            pj_fifo: 8.0,
+            pj_io: 12.0,
+            pj_event: 0.4,
+            pj_config: 15.0,
+            pj_leak_per_pae_cycle: 0.05,
+        }
+    }
+
+    /// Evaluates the model over a statistics snapshot.
+    ///
+    /// `clock_hz` converts the simulated cycle count into wall time so that
+    /// average power can be reported; `paes` is the geometry size leaking
+    /// every cycle.
+    pub fn report(&self, stats: &ArrayStats, geometry: Geometry, clock_hz: f64) -> PowerReport {
+        let dynamic_pj = stats.alu_fires as f64 * self.pj_alu
+            + stats.mul_fires as f64 * self.pj_mul
+            + stats.reg_fires as f64 * self.pj_reg
+            + stats.ram_reads as f64 * self.pj_ram_read
+            + stats.ram_writes as f64 * self.pj_ram_write
+            + stats.fifo_fires as f64 * self.pj_fifo
+            + stats.io_words as f64 * self.pj_io
+            + stats.event_fires as f64 * self.pj_event
+            + stats.config_cycles as f64 * self.pj_config;
+        let leakage_pj =
+            stats.cycles as f64 * geometry.total_paes() as f64 * self.pj_leak_per_pae_cycle;
+        let seconds = if clock_hz > 0.0 { stats.cycles as f64 / clock_hz } else { 0.0 };
+        PowerReport {
+            dynamic_nj: dynamic_pj / 1e3,
+            leakage_nj: leakage_pj / 1e3,
+            sim_seconds: seconds,
+        }
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::hcmos9_130nm()
+    }
+}
+
+/// The result of an energy evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerReport {
+    /// Switching energy in nanojoules.
+    pub dynamic_nj: f64,
+    /// Leakage energy in nanojoules.
+    pub leakage_nj: f64,
+    /// Simulated wall time in seconds (0 when no clock was supplied).
+    pub sim_seconds: f64,
+}
+
+impl PowerReport {
+    /// Total energy in nanojoules.
+    pub fn total_nj(&self) -> f64 {
+        self.dynamic_nj + self.leakage_nj
+    }
+
+    /// Average power in milliwatts over the simulated interval.
+    ///
+    /// Returns 0 when no time elapsed.
+    pub fn avg_power_mw(&self) -> f64 {
+        if self.sim_seconds > 0.0 {
+            self.total_nj() * 1e-9 / self.sim_seconds * 1e3
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Area model for the 0.13 µm implementation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaModel {
+    /// Silicon area of one ALU-PAE in mm².
+    pub mm2_alu_pae: f64,
+    /// Silicon area of one RAM-PAE (with its 512×24 dual-ported SRAM).
+    pub mm2_ram_pae: f64,
+    /// Configuration manager, I/O and periphery.
+    pub mm2_periphery: f64,
+}
+
+impl AreaModel {
+    /// Estimates for 0.13 µm HCMOS9 (6–8 copper layers, low-k dielectric).
+    pub fn hcmos9_130nm() -> Self {
+        AreaModel { mm2_alu_pae: 0.30, mm2_ram_pae: 0.55, mm2_periphery: 4.0 }
+    }
+
+    /// Die area for a geometry.
+    pub fn die_mm2(&self, geometry: Geometry) -> f64 {
+        geometry.alu_paes as f64 * self.mm2_alu_pae
+            + geometry.ram_paes as f64 * self.mm2_ram_pae
+            + self.mm2_periphery
+    }
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        Self::hcmos9_130nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_array_consumes_only_leakage() {
+        let stats = ArrayStats { cycles: 1000, ..Default::default() };
+        let r = EnergyModel::hcmos9_130nm().report(&stats, Geometry::xpp64a(), 64e6);
+        assert_eq!(r.dynamic_nj, 0.0);
+        assert!(r.leakage_nj > 0.0);
+        assert!(r.avg_power_mw() > 0.0);
+    }
+
+    #[test]
+    fn multiplies_cost_more_than_adds() {
+        let g = Geometry::xpp64a();
+        let m = EnergyModel::hcmos9_130nm();
+        let adds = ArrayStats { cycles: 100, alu_fires: 100, ..Default::default() };
+        let muls = ArrayStats { cycles: 100, mul_fires: 100, ..Default::default() };
+        assert!(m.report(&muls, g, 64e6).dynamic_nj > m.report(&adds, g, 64e6).dynamic_nj);
+    }
+
+    #[test]
+    fn power_scales_with_clock() {
+        let stats = ArrayStats { cycles: 1000, alu_fires: 500, ..Default::default() };
+        let m = EnergyModel::hcmos9_130nm();
+        let slow = m.report(&stats, Geometry::xpp64a(), 10e6);
+        let fast = m.report(&stats, Geometry::xpp64a(), 100e6);
+        // Same energy, less time → more power.
+        assert!((slow.total_nj() - fast.total_nj()).abs() < 1e-9);
+        assert!(fast.avg_power_mw() > slow.avg_power_mw());
+    }
+
+    #[test]
+    fn zero_clock_reports_zero_power() {
+        let stats = ArrayStats { cycles: 10, ..Default::default() };
+        let r = EnergyModel::default().report(&stats, Geometry::xpp64a(), 0.0);
+        assert_eq!(r.avg_power_mw(), 0.0);
+    }
+
+    #[test]
+    fn die_area_in_plausible_range() {
+        let a = AreaModel::default().die_mm2(Geometry::xpp64a());
+        // 64 ALU + 16 RAM PAEs at 0.13 µm: tens of mm².
+        assert!(a > 10.0 && a < 100.0, "area {a}");
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests: arbitrary pipelines on the array compute the same
+//! function as a direct software evaluation, regardless of stream content.
+
+use proptest::prelude::*;
+use xpp_array::{AluOp, Array, CounterCfg, NetlistBuilder, UnaryOp, Word};
+
+#[derive(Debug, Clone, Copy)]
+enum Stage {
+    AddK(i32),
+    ShrK(u32),
+    ShlK(u32),
+    Neg,
+    Abs,
+    MulKShr(i32, u32),
+    XorK(i32),
+}
+
+impl Stage {
+    fn to_op(self) -> UnaryOp {
+        match self {
+            Stage::AddK(k) => UnaryOp::AddK(Word::new(k)),
+            Stage::ShrK(s) => UnaryOp::ShrK(s),
+            Stage::ShlK(s) => UnaryOp::ShlK(s),
+            Stage::Neg => UnaryOp::Neg,
+            Stage::Abs => UnaryOp::Abs,
+            Stage::MulKShr(k, s) => UnaryOp::MulKShr(Word::new(k), s),
+            Stage::XorK(k) => UnaryOp::XorK(Word::new(k)),
+        }
+    }
+
+    fn eval(self, x: Word) -> Word {
+        self.to_op().eval(x)
+    }
+}
+
+fn arb_stage() -> impl Strategy<Value = Stage> {
+    prop_oneof![
+        (-1000i32..1000).prop_map(Stage::AddK),
+        (0u32..8).prop_map(Stage::ShrK),
+        (0u32..8).prop_map(Stage::ShlK),
+        Just(Stage::Neg),
+        Just(Stage::Abs),
+        ((-64i32..64), (0u32..6)).prop_map(|(k, s)| Stage::MulKShr(k, s)),
+        (0i32..0xFFFF).prop_map(Stage::XorK),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_unary_pipeline_matches_reference(
+        stages in proptest::collection::vec(arb_stage(), 1..8),
+        inputs in proptest::collection::vec(-100_000i32..100_000, 1..40),
+    ) {
+        let mut nl = NetlistBuilder::new("pipe");
+        let mut x = nl.input("x");
+        for s in &stages {
+            x = nl.unary(s.to_op(), x);
+        }
+        nl.output("y", x);
+        let mut array = Array::xpp64a();
+        let cfg = array.configure(&nl.build().unwrap()).unwrap();
+        array.push_input(cfg, "x", inputs.iter().map(|&v| Word::new(v))).unwrap();
+        array.run_until_idle(100_000).unwrap();
+        let got: Vec<i32> = array
+            .drain_output(cfg, "y")
+            .unwrap()
+            .iter()
+            .map(|w| w.value())
+            .collect();
+        let expected: Vec<i32> = inputs
+            .iter()
+            .map(|&v| stages.iter().fold(Word::new(v), |acc, s| s.eval(acc)).value())
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn binary_tree_matches_reference(
+        a in proptest::collection::vec(-10_000i32..10_000, 1..30),
+        b in proptest::collection::vec(-10_000i32..10_000, 1..30),
+        op_idx in 0usize..5,
+    ) {
+        let ops = [AluOp::Add, AluOp::Sub, AluOp::Min, AluOp::Max, AluOp::Xor];
+        let op = ops[op_idx];
+        let n = a.len().min(b.len());
+        let mut nl = NetlistBuilder::new("bin");
+        let ia = nl.input("a");
+        let ib = nl.input("b");
+        let y = nl.alu(op, ia, ib);
+        nl.output("y", y);
+        let mut array = Array::xpp64a();
+        let cfg = array.configure(&nl.build().unwrap()).unwrap();
+        array.push_input(cfg, "a", a[..n].iter().map(|&v| Word::new(v))).unwrap();
+        array.push_input(cfg, "b", b[..n].iter().map(|&v| Word::new(v))).unwrap();
+        array.run_until_idle(100_000).unwrap();
+        let got: Vec<i32> = array.drain_output(cfg, "y").unwrap().iter().map(|w| w.value()).collect();
+        let expected: Vec<i32> = (0..n).map(|i| op.eval(Word::new(a[i]), Word::new(b[i])).value()).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn accumulate_dump_matches_chunked_sums(
+        chunk in 1u64..12,
+        inputs in proptest::collection::vec(-1000i32..1000, 1..60),
+    ) {
+        let mut nl = NetlistBuilder::new("acc");
+        let x = nl.input("x");
+        let c = nl.counter(CounterCfg::modulo(chunk));
+        let last = nl.unary(UnaryOp::EqK(Word::new(chunk as i32 - 1)), c.value);
+        let dump = nl.to_event(last);
+        let sum = nl.accum_dump(x, dump);
+        nl.output("y", sum);
+        let mut array = Array::xpp64a();
+        let cfg = array.configure(&nl.build().unwrap()).unwrap();
+        array.push_input(cfg, "x", inputs.iter().map(|&v| Word::new(v))).unwrap();
+        array.run_until_idle(100_000).unwrap();
+        let got: Vec<i32> = array.drain_output(cfg, "y").unwrap().iter().map(|w| w.value()).collect();
+        let expected: Vec<i32> = inputs
+            .chunks(chunk as usize)
+            .filter(|c| c.len() == chunk as usize)
+            .map(|c| c.iter().sum())
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn ring_fifo_tiles_pattern(
+        pattern in proptest::collection::vec(-100i32..100, 1..8),
+        n in 1usize..40,
+    ) {
+        let mut nl = NetlistBuilder::new("ring");
+        let x = nl.input("x");
+        let lut = nl.ring_fifo(pattern.iter().map(|&v| Word::new(v)).collect());
+        let y = nl.alu(AluOp::Add, x, lut);
+        nl.output("y", y);
+        let mut array = Array::xpp64a();
+        let cfg = array.configure(&nl.build().unwrap()).unwrap();
+        array.push_input(cfg, "x", std::iter::repeat(Word::ZERO).take(n)).unwrap();
+        array.run_until_idle(100_000).unwrap();
+        let got: Vec<i32> = array.drain_output(cfg, "y").unwrap().iter().map(|w| w.value()).collect();
+        let expected: Vec<i32> = (0..n).map(|i| pattern[i % pattern.len()]).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    // 4 configs × 2 I/O ports is the most the 8 I/O channels can host.
+    fn configure_unload_is_balanced(loads in 1usize..5) {
+        let mut array = Array::xpp64a();
+        let total = array.free_resources();
+        let mut cfgs = Vec::new();
+        for i in 0..loads {
+            let mut nl = NetlistBuilder::new(format!("c{i}"));
+            let x = nl.input("x");
+            let y = nl.unary(UnaryOp::AddK(Word::new(i as i32)), x);
+            nl.output("y", y);
+            cfgs.push(array.configure(&nl.build().unwrap()).unwrap());
+        }
+        for cfg in cfgs {
+            array.unload(cfg).unwrap();
+        }
+        prop_assert_eq!(array.free_resources(), total);
+    }
+}

@@ -1,0 +1,27 @@
+use sdr_ofdm::channel::WlanChannel;
+use sdr_ofdm::params::RATES;
+use sdr_ofdm::rx::OfdmReceiver;
+use sdr_ofdm::tx::Transmitter;
+use sdr_dsp::metrics::BerCounter;
+
+fn psdu(n: usize) -> Vec<u8> { (0..n).map(|i| ((i*29+i/7+1)%2) as u8).collect() }
+
+fn main() {
+    for gain in [128.0f64, 200.0, 300.0] {
+        println!("--- adc_gain {gain}");
+        for r in RATES {
+            let bits = psdu(3 * r.data_bits_per_symbol());
+            let frame = Transmitter::new(r).transmit(&bits);
+            let ch = WlanChannel { adc_gain: gain, ..Default::default() };
+            let rx = ch.run(&frame.samples);
+            match OfdmReceiver::new(r).receive(&rx, bits.len()) {
+                Ok(out) => {
+                    let mut ber = BerCounter::new();
+                    ber.update(&bits, &out.bits);
+                    println!("rate {:2} Mb/s: ber {:.4}", r.mbps, ber.ber());
+                }
+                Err(e) => println!("rate {:2} Mb/s: {e}", r.mbps),
+            }
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Quickstart: build a configuration, load it onto a simulated XPP-64A,
+//! stream data through it, and inspect the activity statistics.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use xpp_sdr::xpp::{AluOp, Array, CounterCfg, NetlistBuilder, UnaryOp, Word};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small signal-processing configuration: scale a sample stream by a
+    // Q4 coefficient and accumulate energy over blocks of 8.
+    let mut nl = NetlistBuilder::new("quickstart");
+    let x = nl.input("x");
+    let scaled = nl.unary(UnaryOp::MulKShr(Word::new(13), 4), x); // ×13/16
+    let squared = {
+        // Square via self-multiplication: fan the stream into both inputs.
+        let (in0, in1, out) = nl.alu_deferred(AluOp::Mul);
+        nl.wire(scaled, in0);
+        nl.wire(scaled, in1);
+        out
+    };
+    let ctr = nl.counter(CounterCfg::modulo(8));
+    let last = nl.unary(UnaryOp::EqK(Word::new(7)), ctr.value);
+    let dump = nl.to_event(last);
+    let energy = nl.accum_dump(squared, dump);
+    nl.output("energy", energy);
+
+    // Load it onto the array; loading takes configuration-bus cycles.
+    let mut array = Array::xpp64a();
+    let cfg = array.configure(&nl.build()?)?;
+    println!("configuration {cfg} placed: {:?}", array.placement(cfg)?.counts);
+
+    // Stream 32 samples (4 blocks of 8) and run to quiescence.
+    array.push_input(cfg, "x", (1..=32).map(Word::new))?;
+    let cycles = array.run_until_idle(10_000)?;
+    let energies: Vec<i32> = array
+        .drain_output(cfg, "energy")?
+        .iter()
+        .map(|w| w.value())
+        .collect();
+    println!("block energies: {energies:?}");
+    println!(
+        "ran {cycles} cycles; {} firings total ({:.2} per cycle)",
+        array.stats().total_fires(),
+        array.stats().fires_per_cycle()
+    );
+    Ok(())
+}

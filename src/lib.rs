@@ -1,0 +1,39 @@
+//! Umbrella crate for the `xpp-sdr` workspace.
+//!
+//! This crate re-exports the workspace members so examples and integration
+//! tests can exercise the whole system through one dependency:
+//!
+//! * [`dsp`] — fixed-point and integer-complex signal-processing primitives,
+//! * [`xpp`] — the coarse-grained reconfigurable array (CGRA) simulator,
+//! * [`wcdma`] — the UMTS/W-CDMA substrate and rake receiver,
+//! * [`ofdm`] — the IEEE 802.11a / HiperLAN-2 substrate and OFDM receiver,
+//! * [`platform`] — the heterogeneous SDR platform (the paper's contribution).
+//!
+//! # Example
+//!
+//! ```
+//! use xpp_sdr::xpp::{Array, NetlistBuilder, AluOp, Word};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Build a two-object pipeline that doubles an input stream.
+//! let mut nl = NetlistBuilder::new("doubler");
+//! let input = nl.input("in");
+//! let two = nl.constant(Word::new(2));
+//! let mul = nl.alu(AluOp::Mul, input, two);
+//! nl.output("out", mul);
+//!
+//! let mut array = Array::xpp64a();
+//! let cfg = array.configure(&nl.build()?)?;
+//! array.push_input(cfg, "in", [1i32, 2, 3].map(Word::new))?;
+//! array.run_until_idle(1_000)?;
+//! let out: Vec<i32> = array.drain_output(cfg, "out")?.iter().map(|w| w.value()).collect();
+//! assert_eq!(out, vec![2, 4, 6]);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use sdr_core as platform;
+pub use sdr_dsp as dsp;
+pub use sdr_ofdm as ofdm;
+pub use sdr_wcdma as wcdma;
+pub use xpp_array as xpp;
