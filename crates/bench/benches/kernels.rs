@@ -114,7 +114,11 @@ fn bench_ofdm_receive(c: &mut Criterion) {
         let rx = WlanChannel::default().run(&frame.samples);
         let receiver = OfdmReceiver::new(r);
         g.bench_function(format!("{mbps}mbps"), |b| {
-            b.iter(|| receiver.receive(std::hint::black_box(&rx), data.len()).unwrap())
+            b.iter(|| {
+                receiver
+                    .receive(std::hint::black_box(&rx), data.len())
+                    .unwrap()
+            })
         });
     }
     g.finish();
@@ -125,7 +129,10 @@ fn bench_viterbi(c: &mut Criterion) {
     let mut data = bits(480, 5);
     data.extend_from_slice(&[0; 6]);
     let coded = puncture(&encode(&data), CodeRate::R34);
-    let llrs: Vec<i32> = coded.iter().map(|&b| if b == 0 { 16 } else { -16 }).collect();
+    let llrs: Vec<i32> = coded
+        .iter()
+        .map(|&b| if b == 0 { 16 } else { -16 })
+        .collect();
     let full = depuncture(&llrs, CodeRate::R34);
     c.bench_function("viterbi_480bits_r34", |b| {
         b.iter(|| viterbi_decode(std::hint::black_box(&full)))

@@ -65,7 +65,10 @@ fn main() {
 
 /// Fig. 1 — processing-power requirements of wireless access protocols.
 fn fig1() {
-    println!("{:<14} {:>12} {:>18}", "protocol", "MIPS", "fits 1600-MIPS DSP?");
+    println!(
+        "{:<14} {:>12} {:>18}",
+        "protocol", "MIPS", "fits 1600-MIPS DSP?"
+    );
     for p in PROTOCOLS {
         println!(
             "{:<14} {:>12} {:>18}",
@@ -78,7 +81,10 @@ fn fig1() {
 
 /// Fig. 2 — data rate vs mobility.
 fn fig2() {
-    println!("{:<14} {:>12} {:>12} {:>12}", "protocol", "stationary", "pedestrian", "vehicular");
+    println!(
+        "{:<14} {:>12} {:>12} {:>12}",
+        "protocol", "stationary", "pedestrian", "vehicular"
+    );
     for p in PROTOCOLS {
         println!(
             "{:<14} {:>10.3}Mb {:>10.3}Mb {:>10.3}Mb",
@@ -92,7 +98,10 @@ fn fig2() {
 
 /// Table 1 — rake finger scenarios and the single-physical-finger clock.
 fn table1() {
-    println!("{:>4} {:>4} {:>4} {:>8} {:>10} {:>8}", "BTS", "path", "DCH", "fingers", "clock MHz", "status");
+    println!(
+        "{:>4} {:>4} {:>4} {:>8} {:>10} {:>8}",
+        "BTS", "path", "DCH", "fingers", "clock MHz", "status"
+    );
     for s in table1_scenarios() {
         let status = if !s.feasible() {
             "infeasible"
@@ -147,15 +156,22 @@ fn fig5() {
     let mut hw = ArrayDescrambler::new().unwrap();
     let out = hw.process(&rx, &code, 0, 0, rx.len()).unwrap();
     let exact = out == descramble(&rx, &code, 0, 0, rx.len());
-    kernel_summary("fig5 descrambler", hw.array(), hw.config(), rx.len() as u64, exact);
+    kernel_summary(
+        "fig5 descrambler",
+        hw.array(),
+        hw.config(),
+        rx.len() as u64,
+        exact,
+    );
 }
 
 /// Fig. 6 — the time-multiplexed despreader (the 18-finger physical finger).
 fn fig6() {
     let fingers = 18;
     let sf = 64;
-    let streams: Vec<Vec<Cplx<i32>>> =
-        (0..fingers).map(|f| chips_12bit(sf * 8, f as u32 + 1)).collect();
+    let streams: Vec<Vec<Cplx<i32>>> = (0..fingers)
+        .map(|f| chips_12bit(sf * 8, f as u32 + 1))
+        .collect();
     let mut hw = ArrayMultiplexedDespreader::new(fingers, sf, 17).unwrap();
     let out = hw.process(&streams).unwrap();
     let exact = streams
@@ -163,7 +179,13 @@ fn fig6() {
         .enumerate()
         .all(|(f, s)| out[f] == despread(s, sf, 17));
     let tokens = (fingers * sf * 8) as u64;
-    kernel_summary("fig6 despreader (18 fingers)", hw.array(), hw.config(), tokens, exact);
+    kernel_summary(
+        "fig6 despreader (18 fingers)",
+        hw.array(),
+        hw.config(),
+        tokens,
+        exact,
+    );
     println!(
         "    one chip/cycle at 69.12 MHz serves 69.12/3.84 = {} virtual fingers — the paper's scenario",
         (69.12f64 / 3.84).round()
@@ -174,9 +196,12 @@ fn fig6() {
 fn fig7() {
     // Resident-weight corrector, 18 fingers.
     let fingers = 18;
-    let weights: Vec<Cplx<i32>> =
-        (0..fingers).map(|f| Cplx::new(500 - 20 * f as i32, 10 * f as i32 - 90)).collect();
-    let per: Vec<Vec<Cplx<i32>>> = (0..fingers).map(|f| chips_12bit(64, 50 + f as u32)).collect();
+    let weights: Vec<Cplx<i32>> = (0..fingers)
+        .map(|f| Cplx::new(500 - 20 * f as i32, 10 * f as i32 - 90))
+        .collect();
+    let per: Vec<Vec<Cplx<i32>>> = (0..fingers)
+        .map(|f| chips_12bit(64, 50 + f as u32))
+        .collect();
     let mut muxed = Vec::new();
     for k in 0..64 {
         for s in &per {
@@ -190,7 +215,13 @@ fn fig7() {
         let got: Vec<Cplx<i32>> = out.iter().skip(f).step_by(fingers).copied().collect();
         got == correct(&per[f], weights[f])
     });
-    kernel_summary("fig7 corrector (18 fingers)", hw.array(), hw.config(), muxed.len() as u64, exact);
+    kernel_summary(
+        "fig7 corrector (18 fingers)",
+        hw.array(),
+        hw.config(),
+        muxed.len() as u64,
+        exact,
+    );
 
     // STTD decoding corrector.
     let w1 = Cplx::new(430, -120);
@@ -202,7 +233,13 @@ fn fig7() {
         let (s1, s2) = sttd_decode_fixed(pair[0], pair[1], w1, w2, 9);
         out[2 * p] == s1 && out[2 * p + 1] == s2
     });
-    kernel_summary("fig7 STTD corrector", hw.array(), hw.config(), symbols.len() as u64, exact);
+    kernel_summary(
+        "fig7 STTD corrector",
+        hw.array(),
+        hw.config(),
+        symbols.len() as u64,
+        exact,
+    );
 }
 
 /// Fig. 9 — the radix-4 FFT64: bit-exactness, throughput and the
@@ -215,13 +252,23 @@ fn fig9() {
     let out = hw.run_frames(&frames).unwrap();
     let cycles = hw.array().stats().cycles - before;
     let exact = frames.iter().zip(&out).all(|(x, y)| golden.run(x) == *y);
-    kernel_summary("fig9 FFT64 (>>2/stage)", hw.array(), hw.config(), 256 * frames.len() as u64, exact);
+    kernel_summary(
+        "fig9 FFT64 (>>2/stage)",
+        hw.array(),
+        hw.config(),
+        256 * frames.len() as u64,
+        exact,
+    );
     let per_frame = cycles as f64 / frames.len() as f64;
     println!(
         "    {per_frame:.0} cycles/FFT; an 80-sample OFDM symbol at 20 Msps gives \
          {:.0} cycles of budget at 69.12 MHz -> {}",
         80.0 * 69.12 / 20.0,
-        if per_frame < 80.0 * 69.12 / 20.0 { "meets real time" } else { "MISSES real time" }
+        if per_frame < 80.0 * 69.12 / 20.0 {
+            "meets real time"
+        } else {
+            "MISSES real time"
+        }
     );
 
     // Precision ablation: per-stage shift vs output SNR (10-bit input) and
@@ -257,7 +304,9 @@ fn fig9() {
                 supported.push(r.mbps);
             }
         }
-        println!("      >>{shift}/stage: output SNR {snr:6.1} dB; clean-channel rates OK: {supported:?}");
+        println!(
+            "      >>{shift}/stage: output SNR {snr:6.1} dB; clean-channel rates OK: {supported:?}"
+        );
     }
 }
 
@@ -270,7 +319,10 @@ fn fig10() {
     let data = bits(96, 1);
     let frame = Transmitter::new(r).transmit(&data);
     // 2x oversample by sample-and-hold (the 40 Msps ADC).
-    let ch = WlanChannel { leading_gap: 80, ..Default::default() };
+    let ch = WlanChannel {
+        leading_gap: 80,
+        ..Default::default()
+    };
     let rx20 = ch.run(&frame.samples);
     let mut rx40 = Vec::with_capacity(rx20.len() * 2);
     for s in &rx20 {
@@ -294,8 +346,14 @@ fn fig10() {
         "differential reconfiguration: 2a->2b swap completed in {} bus cycles \
          (a full-array reload would also re-send config 1's {} objects, ~{} cycles)",
         swap_cost - cfg_cycles_before,
-        fe.array().placement(fe.config1()).map(|p| p.objects).unwrap_or(0),
-        fe.array().placement(fe.config1()).map(|p| p.objects as u64).unwrap_or(0)
+        fe.array()
+            .placement(fe.config1())
+            .map(|p| p.objects)
+            .unwrap_or(0),
+        fe.array()
+            .placement(fe.config1())
+            .map(|p| p.objects as u64)
+            .unwrap_or(0)
             * xpp_array::CONFIG_CYCLES_PER_OBJECT
             + (swap_cost - cfg_cycles_before),
     );
@@ -305,11 +363,21 @@ fn fig10() {
 fn fig11() {
     println!("rake receiver partitioning (Fig. 4):");
     for t in rake_partitioning() {
-        println!("  {:<28} -> {:<22} [{}]", t.task, t.resource.to_string(), t.implemented_by);
+        println!(
+            "  {:<28} -> {:<22} [{}]",
+            t.task,
+            t.resource.to_string(),
+            t.implemented_by
+        );
     }
     println!("OFDM decoder partitioning (Fig. 8):");
     for t in ofdm_partitioning() {
-        println!("  {:<28} -> {:<22} [{}]", t.task, t.resource.to_string(), t.implemented_by);
+        println!(
+            "  {:<28} -> {:<22} [{}]",
+            t.task,
+            t.resource.to_string(),
+            t.implemented_by
+        );
     }
 
     // Measure the two standards' kernel demands on the array simulator and
@@ -319,13 +387,24 @@ fn fig11() {
     // clock. OFDM: the measured serialized FFT64 cost per 4-us symbol.
     let mut fft_hw = ArrayFft64::new(2).unwrap();
     let before = fft_hw.array().stats().cycles;
-    fft_hw.run_frames(&[fft_frame(3), fft_frame(4), fft_frame(5), fft_frame(6)]).unwrap();
+    fft_hw
+        .run_frames(&[fft_frame(3), fft_frame(4), fft_frame(5), fft_frame(6)])
+        .unwrap();
     let fft_cycles = (fft_hw.array().stats().cycles - before) / 4;
     println!("measured: FFT64 {fft_cycles} cycles/symbol; rake 1 cycle/virtual-chip");
 
     println!("time-sliced feasibility (EDF over 10 W-CDMA slots):");
-    println!("{:>10} {:>12} {:>12} {:>8} {:>9}", "clock", "rake fingers", "u(rake+fft)", "misses", "feasible");
-    for (clock_mhz, fingers) in [(69.12, 18u64), (138.24, 18), (200.0, 18), (200.0, 12), (160.0, 6)] {
+    println!(
+        "{:>10} {:>12} {:>12} {:>8} {:>9}",
+        "clock", "rake fingers", "u(rake+fft)", "misses", "feasible"
+    );
+    for (clock_mhz, fingers) in [
+        (69.12, 18u64),
+        (138.24, 18),
+        (200.0, 18),
+        (200.0, 12),
+        (160.0, 6),
+    ] {
         let clock = clock_mhz * 1e6;
         let slot_period = (clock * 2_560.0 / 3.84e6) as u64;
         let sym_period = (clock * 4e-6) as u64;
@@ -386,13 +465,19 @@ fn fig12() {
 /// σ = 8/√γ. The ADC gain follows the noise level (AGC) so the 12-bit
 /// range is used, not clipped.
 fn rake_ber() {
-    println!("{:>8} {:>12} {:>12} {:>12}", "Eb/N0", "1 path", "3 paths", "2-cell SHO");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12}",
+        "Eb/N0", "1 path", "3 paths", "2-cell SHO"
+    );
     let payload = 2048;
     let _ = sigma_for_ebn0(1.0, 1.0, 1.0, 0.0); // general helper; exact map below
     for ebn0 in [0.0f64, 2.0, 4.0, 6.0, 8.0] {
         let gamma = 10f64.powf(ebn0 / 10.0);
         let sigma = 8.0 / gamma.sqrt();
-        let adc = AdcConfig { gain: 512.0 / (1.0 + sigma), bits: 12 };
+        let adc = AdcConfig {
+            gain: 512.0 / (1.0 + sigma),
+            bits: 12,
+        };
         let mut row = Vec::new();
         for scenario in 0..3 {
             // Median of three noise realisations: at low Eb/N0 an
@@ -400,60 +485,66 @@ fn rake_ber() {
             // mask the trend a longer simulation shows.
             let mut trials = Vec::new();
             for trial in 0..3u64 {
-            let data = bits(payload, ebn0 as u32 + scenario);
-            let mut cells = Vec::new();
-            match scenario {
-                0 => cells.push((
-                    CellConfig::default(),
-                    CellLink::new(vec![Path::new(2, Cplx::new(0.7, 0.2))]),
-                )),
-                1 => cells.push((
-                    CellConfig::default(),
-                    CellLink::new(vec![
-                        Path::new(0, Cplx::new(0.55, 0.1)),
-                        Path::new(7, Cplx::new(-0.1, 0.42)),
-                        Path::new(19, Cplx::new(0.3, -0.25)),
-                    ]),
-                )),
-                _ => {
-                    cells.push((
-                        CellConfig { scrambling_code: 0, ..Default::default() },
-                        CellLink::new(vec![Path::new(1, Cplx::new(0.5, 0.2))]),
-                    ));
-                    cells.push((
-                        CellConfig { scrambling_code: 32, ..Default::default() },
-                        CellLink::new(vec![Path::new(9, Cplx::new(-0.15, 0.5))]),
-                    ));
+                let data = bits(payload, ebn0 as u32 + scenario);
+                let mut cells = Vec::new();
+                match scenario {
+                    0 => cells.push((
+                        CellConfig::default(),
+                        CellLink::new(vec![Path::new(2, Cplx::new(0.7, 0.2))]),
+                    )),
+                    1 => cells.push((
+                        CellConfig::default(),
+                        CellLink::new(vec![
+                            Path::new(0, Cplx::new(0.55, 0.1)),
+                            Path::new(7, Cplx::new(-0.1, 0.42)),
+                            Path::new(19, Cplx::new(0.3, -0.25)),
+                        ]),
+                    )),
+                    _ => {
+                        cells.push((
+                            CellConfig {
+                                scrambling_code: 0,
+                                ..Default::default()
+                            },
+                            CellLink::new(vec![Path::new(1, Cplx::new(0.5, 0.2))]),
+                        ));
+                        cells.push((
+                            CellConfig {
+                                scrambling_code: 32,
+                                ..Default::default()
+                            },
+                            CellLink::new(vec![Path::new(9, Cplx::new(-0.15, 0.5))]),
+                        ));
+                    }
                 }
-            }
-            let mut signals = Vec::new();
-            let mut codes = Vec::new();
-            for (cfg, link) in cells {
-                let mut tx = CellTransmitter::new(cfg);
-                signals.push((tx.transmit(&data), link));
-                codes.push(cfg.scrambling_code);
-            }
-            let rx = propagate(&signals, sigma, 1000 + 77 * trial + ebn0 as u64, adc);
-            // Longer pilot integration at low SNR (the coarse/fine
-            // searcher's dwell-time trade, §3.1).
-            let rake = RakeReceiver::new(
-                codes,
-                RakeConfig {
-                    searcher: PathSearcher {
-                        max_paths: 3,
-                        coarse_symbols: 2,
-                        fine_symbols: 12,
+                let mut signals = Vec::new();
+                let mut codes = Vec::new();
+                for (cfg, link) in cells {
+                    let mut tx = CellTransmitter::new(cfg);
+                    signals.push((tx.transmit(&data), link));
+                    codes.push(cfg.scrambling_code);
+                }
+                let rx = propagate(&signals, sigma, 1000 + 77 * trial + ebn0 as u64, adc);
+                // Longer pilot integration at low SNR (the coarse/fine
+                // searcher's dwell-time trade, §3.1).
+                let rake = RakeReceiver::new(
+                    codes,
+                    RakeConfig {
+                        searcher: PathSearcher {
+                            max_paths: 3,
+                            coarse_symbols: 2,
+                            fine_symbols: 12,
+                            ..Default::default()
+                        },
+                        estimation_symbols: 16,
                         ..Default::default()
                     },
-                    estimation_symbols: 16,
-                    ..Default::default()
-                },
-            );
-            let out = rake.receive(&rx);
-            let n = data.len().min(out.bits.len());
-            let mut ber = BerCounter::new();
-            ber.update(&data[..n], &out.bits[..n]);
-            trials.push(ber.ber());
+                );
+                let out = rake.receive(&rx);
+                let n = data.len().min(out.bits.len());
+                let mut ber = BerCounter::new();
+                ber.update(&data[..n], &out.bits[..n]);
+                trials.push(ber.ber());
             }
             trials.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
             row.push(trials[1]);

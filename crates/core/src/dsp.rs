@@ -38,7 +38,12 @@ impl DspModel {
     /// Panics unless both values are positive.
     pub fn new(mips: f64, clock_hz: f64) -> Self {
         assert!(mips > 0.0 && clock_hz > 0.0);
-        DspModel { mips, clock_hz, total_instructions: 0, per_task: BTreeMap::new() }
+        DspModel {
+            mips,
+            clock_hz,
+            total_instructions: 0,
+            per_task: BTreeMap::new(),
+        }
     }
 
     /// The paper's reference DSP: 1600 MIPS at 200 MHz.

@@ -45,16 +45,56 @@ pub struct TaskAssignment {
 pub fn rake_partitioning() -> Vec<TaskAssignment> {
     use Resource::*;
     vec![
-        TaskAssignment { task: "de-scrambling", resource: Array, implemented_by: "sdr_wcdma::xpp_map::descrambler" },
-        TaskAssignment { task: "de-spreading", resource: Array, implemented_by: "sdr_wcdma::xpp_map::despreader" },
-        TaskAssignment { task: "channel correction", resource: Array, implemented_by: "sdr_wcdma::xpp_map::corrector" },
-        TaskAssignment { task: "combining", resource: Array, implemented_by: "sdr_wcdma::rake::combiner" },
-        TaskAssignment { task: "scrambling code generation", resource: Dedicated, implemented_by: "sdr_wcdma::scrambling" },
-        TaskAssignment { task: "spreading code generation", resource: Dedicated, implemented_by: "sdr_wcdma::ovsf" },
-        TaskAssignment { task: "control & synchronization", resource: Dsp, implemented_by: "sdr_wcdma::rake" },
-        TaskAssignment { task: "pilot acquisition", resource: Dsp, implemented_by: "sdr_wcdma::rake::searcher" },
-        TaskAssignment { task: "path tracking", resource: Dsp, implemented_by: "sdr_wcdma::rake::tracker" },
-        TaskAssignment { task: "channel estimation", resource: Dsp, implemented_by: "sdr_wcdma::rake::estimator" },
+        TaskAssignment {
+            task: "de-scrambling",
+            resource: Array,
+            implemented_by: "sdr_wcdma::xpp_map::descrambler",
+        },
+        TaskAssignment {
+            task: "de-spreading",
+            resource: Array,
+            implemented_by: "sdr_wcdma::xpp_map::despreader",
+        },
+        TaskAssignment {
+            task: "channel correction",
+            resource: Array,
+            implemented_by: "sdr_wcdma::xpp_map::corrector",
+        },
+        TaskAssignment {
+            task: "combining",
+            resource: Array,
+            implemented_by: "sdr_wcdma::rake::combiner",
+        },
+        TaskAssignment {
+            task: "scrambling code generation",
+            resource: Dedicated,
+            implemented_by: "sdr_wcdma::scrambling",
+        },
+        TaskAssignment {
+            task: "spreading code generation",
+            resource: Dedicated,
+            implemented_by: "sdr_wcdma::ovsf",
+        },
+        TaskAssignment {
+            task: "control & synchronization",
+            resource: Dsp,
+            implemented_by: "sdr_wcdma::rake",
+        },
+        TaskAssignment {
+            task: "pilot acquisition",
+            resource: Dsp,
+            implemented_by: "sdr_wcdma::rake::searcher",
+        },
+        TaskAssignment {
+            task: "path tracking",
+            resource: Dsp,
+            implemented_by: "sdr_wcdma::rake::tracker",
+        },
+        TaskAssignment {
+            task: "channel estimation",
+            resource: Dsp,
+            implemented_by: "sdr_wcdma::rake::estimator",
+        },
     ]
 }
 
@@ -62,23 +102,65 @@ pub fn rake_partitioning() -> Vec<TaskAssignment> {
 pub fn ofdm_partitioning() -> Vec<TaskAssignment> {
     use Resource::*;
     vec![
-        TaskAssignment { task: "RF receiver, A/D", resource: Dedicated, implemented_by: "sdr_ofdm::channel (simulated front end)" },
-        TaskAssignment { task: "down sampling", resource: Array, implemented_by: "sdr_ofdm::xpp_map::frontend (config 1)" },
-        TaskAssignment { task: "framing and sync", resource: Dedicated, implemented_by: "sdr_ofdm::rx (timing) + dedicated framing" },
-        TaskAssignment { task: "preamble detection", resource: Array, implemented_by: "sdr_ofdm::xpp_map::frontend (config 2a)" },
-        TaskAssignment { task: "FFT", resource: Array, implemented_by: "sdr_ofdm::xpp_map::fft64 (config 1)" },
-        TaskAssignment { task: "demodulation", resource: Array, implemented_by: "sdr_ofdm::xpp_map::frontend (config 2b)" },
-        TaskAssignment { task: "descrambler", resource: Dsp, implemented_by: "sdr_ofdm::scrambler (bit-level; see DESIGN.md)" },
-        TaskAssignment { task: "Viterbi", resource: Dedicated, implemented_by: "sdr_ofdm::convolutional::viterbi_decode" },
-        TaskAssignment { task: "layer 2", resource: Dsp, implemented_by: "out of scope (protocol stack)" },
+        TaskAssignment {
+            task: "RF receiver, A/D",
+            resource: Dedicated,
+            implemented_by: "sdr_ofdm::channel (simulated front end)",
+        },
+        TaskAssignment {
+            task: "down sampling",
+            resource: Array,
+            implemented_by: "sdr_ofdm::xpp_map::frontend (config 1)",
+        },
+        TaskAssignment {
+            task: "framing and sync",
+            resource: Dedicated,
+            implemented_by: "sdr_ofdm::rx (timing) + dedicated framing",
+        },
+        TaskAssignment {
+            task: "preamble detection",
+            resource: Array,
+            implemented_by: "sdr_ofdm::xpp_map::frontend (config 2a)",
+        },
+        TaskAssignment {
+            task: "FFT",
+            resource: Array,
+            implemented_by: "sdr_ofdm::xpp_map::fft64 (config 1)",
+        },
+        TaskAssignment {
+            task: "demodulation",
+            resource: Array,
+            implemented_by: "sdr_ofdm::xpp_map::frontend (config 2b)",
+        },
+        TaskAssignment {
+            task: "descrambler",
+            resource: Dsp,
+            implemented_by: "sdr_ofdm::scrambler (bit-level; see DESIGN.md)",
+        },
+        TaskAssignment {
+            task: "Viterbi",
+            resource: Dedicated,
+            implemented_by: "sdr_ofdm::convolutional::viterbi_decode",
+        },
+        TaskAssignment {
+            task: "layer 2",
+            resource: Dsp,
+            implemented_by: "out of scope (protocol stack)",
+        },
     ]
 }
 
 /// Counts tasks per resource (for the report generator).
 pub fn count_by_resource(tasks: &[TaskAssignment]) -> (usize, usize, usize) {
     let dsp = tasks.iter().filter(|t| t.resource == Resource::Dsp).count();
-    let ded = tasks.iter().filter(|t| t.resource == Resource::Dedicated).count();
-    let arr = tasks.iter().filter(|t| t.resource == Resource::Array).count();
+    let ded = tasks
+        .iter()
+        .filter(|t| t.resource == Resource::Dedicated)
+        .count();
+    let arr = tasks
+        .iter()
+        .filter(|t| t.resource == Resource::Array)
+        .count();
     (dsp, ded, arr)
 }
 
@@ -98,7 +180,13 @@ mod tests {
     #[test]
     fn ofdm_partitioning_covers_fig8_blocks() {
         let tasks = ofdm_partitioning();
-        for block in ["down sampling", "FFT", "demodulation", "Viterbi", "preamble detection"] {
+        for block in [
+            "down sampling",
+            "FFT",
+            "demodulation",
+            "Viterbi",
+            "preamble detection",
+        ] {
             assert!(tasks.iter().any(|t| t.task == block), "missing {block}");
         }
         // The streaming kernels sit on the array; Viterbi is dedicated.

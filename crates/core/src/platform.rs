@@ -30,7 +30,11 @@ pub struct DedicatedBlock {
 impl DedicatedBlock {
     /// Creates a block descriptor.
     pub fn new(name: impl Into<String>, cycles_per_item: f64, power_mw: f64) -> Self {
-        DedicatedBlock { name: name.into(), cycles_per_item, power_mw }
+        DedicatedBlock {
+            name: name.into(),
+            cycles_per_item,
+            power_mw,
+        }
     }
 }
 
@@ -123,9 +127,19 @@ impl SdrPlatform {
     /// Aggregates the platform state into a report.
     pub fn report(&self) -> PlatformReport {
         let stats = self.array.stats();
-        let array_power = self.energy.report(&stats, self.array.geometry(), self.clock_hz);
-        let window = if self.clock_hz > 0.0 { stats.cycles as f64 / self.clock_hz } else { 0.0 };
-        let dsp_demand = if window > 0.0 { self.dsp.demand_mips_over(window) } else { 0.0 };
+        let array_power = self
+            .energy
+            .report(&stats, self.array.geometry(), self.clock_hz);
+        let window = if self.clock_hz > 0.0 {
+            stats.cycles as f64 / self.clock_hz
+        } else {
+            0.0
+        };
+        let dsp_demand = if window > 0.0 {
+            self.dsp.demand_mips_over(window)
+        } else {
+            0.0
+        };
         PlatformReport {
             array_stats: stats,
             array_power,
@@ -144,7 +158,12 @@ mod tests {
     #[test]
     fn board_has_the_paper_blocks() {
         let p = SdrPlatform::evaluation_board();
-        for name in ["scrambling-code-gen", "ovsf-code-gen", "framing-sync", "viterbi"] {
+        for name in [
+            "scrambling-code-gen",
+            "ovsf-code-gen",
+            "framing-sync",
+            "viterbi",
+        ] {
             assert!(p.dedicated(name).is_some(), "missing {name}");
         }
         assert!((p.dsp.mips() - 1600.0).abs() < 1e-9);
@@ -176,7 +195,9 @@ mod tests {
         let y = nl.alu(AluOp::Mul, x, k);
         nl.output("y", y);
         let cfg = p.array.configure(&nl.build().unwrap()).unwrap();
-        p.array.push_input(cfg, "x", (0..64).map(Word::new)).unwrap();
+        p.array
+            .push_input(cfg, "x", (0..64).map(Word::new))
+            .unwrap();
         p.array.run_until_idle(10_000).unwrap();
         p.dsp.charge("control", 10_000);
         p.charge_dedicated("framing-sync", 64);

@@ -129,10 +129,15 @@ mod tests {
 
     #[test]
     fn demand_is_monotone_across_generations() {
-        let mips: Vec<f64> = [Protocol::Gsm, Protocol::GprsHscsd, Protocol::Edge, Protocol::Umts]
-            .iter()
-            .map(|p| p.required_mips())
-            .collect();
+        let mips: Vec<f64> = [
+            Protocol::Gsm,
+            Protocol::GprsHscsd,
+            Protocol::Edge,
+            Protocol::Umts,
+        ]
+        .iter()
+        .map(|p| p.required_mips())
+        .collect();
         assert!(mips.windows(2).all(|w| w[1] > w[0]));
     }
 

@@ -30,7 +30,11 @@ impl Job {
     /// allowed (it will simply miss deadlines).
     pub fn new(name: impl Into<String>, cycles: u64, period: u64) -> Self {
         assert!(period > 0, "job period must be positive");
-        Job { name: name.into(), cycles, period }
+        Job {
+            name: name.into(),
+            cycles,
+            period,
+        }
     }
 
     /// The job's long-run utilization share.
@@ -128,7 +132,12 @@ pub fn schedule_edf(jobs: &[Job], horizon: u64) -> ScheduleReport {
         }
         // Earliest deadline first.
         active.sort_by_key(|a| a.deadline);
-        let next_event = next_release.iter().copied().min().unwrap_or(horizon).min(horizon);
+        let next_event = next_release
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(horizon)
+            .min(horizon);
         if let Some(current) = active.first_mut() {
             // Run until completion, the next release, or the deadline.
             let slice_end = next_event.min(current.deadline).min(t + current.remaining);
@@ -140,7 +149,11 @@ pub fn schedule_edf(jobs: &[Job], horizon: u64) -> ScheduleReport {
                     Some(last) if last.job == current.job && last.start + last.len == t => {
                         last.len += len;
                     }
-                    _ => timeline.push(Slice { job: current.job, start: t, len }),
+                    _ => timeline.push(Slice {
+                        job: current.job,
+                        start: t,
+                        len,
+                    }),
                 }
                 t = slice_end;
             }
@@ -158,7 +171,12 @@ pub fn schedule_edf(jobs: &[Job], horizon: u64) -> ScheduleReport {
             t = next_event; // idle until the next release
         }
     }
-    ScheduleReport { horizon, busy, timeline, misses }
+    ScheduleReport {
+        horizon,
+        busy,
+        timeline,
+        misses,
+    }
 }
 
 #[cfg(test)]
@@ -176,7 +194,10 @@ mod tests {
     #[test]
     fn two_jobs_interleave_feasibly() {
         // Combined utilization 0.85 < 1 → EDF schedules it.
-        let jobs = vec![Job::new("umts-slot", 500, 1000), Job::new("wlan-symbol", 70, 200)];
+        let jobs = vec![
+            Job::new("umts-slot", 500, 1000),
+            Job::new("wlan-symbol", 70, 200),
+        ];
         let r = schedule_edf(&jobs, 20_000);
         assert!(r.feasible(), "misses: {:?}", r.misses);
         assert!((r.utilization() - 0.85).abs() < 0.02);
@@ -199,7 +220,11 @@ mod tests {
         let total: f64 = jobs.iter().map(Job::utilization).sum();
         assert!((total - 1.0).abs() < 1e-12);
         let r = schedule_edf(&jobs, 50_000);
-        assert!(r.feasible(), "EDF schedules exactly-full sets: {:?}", r.misses);
+        assert!(
+            r.feasible(),
+            "EDF schedules exactly-full sets: {:?}",
+            r.misses
+        );
         assert!(r.utilization() > 0.99);
     }
 

@@ -1,0 +1,198 @@
+//! Offline drop-in shim for the [criterion](https://docs.rs/criterion)
+//! API surface this workspace's benches use.
+//!
+//! The build environment has no crates.io access, so the real criterion
+//! cannot be fetched. This shim keeps `benches/` compiling and producing
+//! useful numbers: each bench function is timed over `sample_size`
+//! samples with a simple wall-clock harness and reported as mean time per
+//! iteration. There is no statistical analysis, warm-up modelling, or
+//! HTML output — the numbers are indicative, not publication-grade.
+
+use std::time::{Duration, Instant};
+
+/// Setup-cost hint for [`Bencher::iter_batched`] (accepted, not acted on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One setup per sample.
+    PerIteration,
+}
+
+/// Times closures for one benchmark id.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    /// Mean time per iteration, filled by `iter`/`iter_batched`.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, excluding nothing (the routine is the whole body).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            let out = routine();
+            total += start.elapsed();
+            drop(std::hint::black_box(out));
+        }
+        self.elapsed = total / self.samples as u32;
+    }
+
+    /// Times `routine` over fresh inputs from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            total += start.elapsed();
+            drop(std::hint::black_box(out));
+        }
+        self.elapsed = total / self.samples as u32;
+    }
+}
+
+/// The top-level harness handle passed to every bench function.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs and reports one standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        report(&id, b.elapsed);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs and reports one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        let mut b = Bencher {
+            samples: self.criterion.sample_size,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        report(&full, b.elapsed);
+        self
+    }
+
+    /// Ends the group (formatting no-op).
+    pub fn finish(self) {}
+}
+
+fn report(id: &str, mean: Duration) {
+    println!("{id:<44} {:>12.3} µs/iter", mean.as_secs_f64() * 1e6);
+}
+
+/// Declares a bench group: a function running every target with the given
+/// configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut count = 0;
+        c.bench_function("smoke", |b| b.iter(|| count += 1));
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn iter_batched_gets_fresh_inputs() {
+        let mut c = Criterion::default().sample_size(4);
+        let mut g = c.benchmark_group("group");
+        let mut seen = Vec::new();
+        let mut next = 0;
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    next += 1;
+                    next
+                },
+                |v| seen.push(v),
+                BatchSize::LargeInput,
+            )
+        });
+        g.finish();
+        assert_eq!(seen, vec![1, 2, 3, 4]);
+    }
+}

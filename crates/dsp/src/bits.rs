@@ -42,9 +42,16 @@ impl Lfsr {
     /// Panics if `degree` is 0 or greater than 31, or if `init` does not fit
     /// in `degree` bits.
     pub fn new(degree: u32, taps: u32, init: u32) -> Self {
-        assert!(degree >= 1 && degree <= 31, "lfsr degree must be in 1..=31");
-        assert!(init < (1 << degree), "initial state wider than the register");
-        Lfsr { degree, taps, state: init }
+        assert!((1..=31).contains(&degree), "lfsr degree must be in 1..=31");
+        assert!(
+            init < (1 << degree),
+            "initial state wider than the register"
+        );
+        Lfsr {
+            degree,
+            taps,
+            state: init,
+        }
     }
 
     /// The current register contents.
@@ -72,7 +79,7 @@ impl Lfsr {
     #[inline]
     pub fn step(&mut self) -> u8 {
         let out = (self.state & 1) as u8;
-        let fb = ((self.state & self.taps).count_ones() & 1) as u32;
+        let fb = (self.state & self.taps).count_ones() & 1;
         self.state = (self.state >> 1) | (fb << (self.degree - 1));
         out
     }

@@ -35,7 +35,7 @@ pub struct Cplx<T> {
 
 impl<T: fmt::Debug> fmt::Debug for Cplx<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "({:?}{}j{:?})", self.re, "+", self.im)
+        write!(f, "({:?}+j{:?})", self.re, self.im)
     }
 }
 
@@ -162,6 +162,7 @@ impl Cplx<f64> {
     }
 
     /// Full-precision division.
+    #[allow(clippy::should_implement_trait)]
     pub fn div(self, rhs: Self) -> Self {
         let d = rhs.sqmag();
         let n = self * rhs.conj();
@@ -211,6 +212,7 @@ impl Cplx<i32> {
 
     /// Arithmetic right shift of both components (truncating).
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn shr(self, shift: u32) -> Self {
         Cplx::new(self.re >> shift, self.im >> shift)
     }
@@ -239,6 +241,7 @@ impl Cplx<i64> {
 
     /// Arithmetic right shift of both components.
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn shr(self, shift: u32) -> Self {
         Cplx::new(self.re >> shift, self.im >> shift)
     }
@@ -298,7 +301,7 @@ mod tests {
         let big = Cplx::new((1 << 23) - 1, -(1 << 23));
         let r = big.cmul_shr(big, 23);
         // (a+jb)^2 with a=2^23-1, b=-2^23: re=(a^2-b^2)>>23, im=(2ab)>>23.
-        let a = ((1i64 << 23) - 1) as i64;
+        let a = (1i64 << 23) - 1;
         let b = -(1i64 << 23);
         assert_eq!(r.re, ((a * a - b * b) >> 23) as i32);
         assert_eq!(r.im, ((2 * a * b) >> 23) as i32);
@@ -314,7 +317,10 @@ mod tests {
     #[test]
     fn sqmag_is_nonnegative_and_exact() {
         assert_eq!(Cplx::<i32>::new(3, 4).sqmag(), 25);
-        assert_eq!(Cplx::<i32>::new(-(1 << 23), 1 << 23).sqmag(), 2 * (1i64 << 46));
+        assert_eq!(
+            Cplx::<i32>::new(-(1 << 23), 1 << 23).sqmag(),
+            2 * (1i64 << 46)
+        );
     }
 
     #[test]

@@ -208,7 +208,10 @@ impl Fft64Fixed {
     /// Runs the transform and also returns the value of the working array
     /// after each stage (before digit reversal) — used to cross-check the
     /// array netlist stage by stage.
-    pub fn run_with_trace(&self, input: &[Cplx<i32>; 64]) -> ([Cplx<i32>; 64], Vec<[Cplx<i32>; 64]>) {
+    pub fn run_with_trace(
+        &self,
+        input: &[Cplx<i32>; 64],
+    ) -> ([Cplx<i32>; 64], Vec<[Cplx<i32>; 64]>) {
         let mut data = *input;
         let mut trace = Vec::with_capacity(FFT64_STAGES);
         for stage in 0..FFT64_STAGES {

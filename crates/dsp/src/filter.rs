@@ -39,7 +39,12 @@ impl FirI32 {
     pub fn new(taps: Vec<i32>, shift: u32) -> Self {
         assert!(!taps.is_empty(), "fir: at least one tap required");
         let len = taps.len();
-        FirI32 { taps, delay: vec![Cplx::<i32>::ZERO; len], pos: 0, shift }
+        FirI32 {
+            taps,
+            delay: vec![Cplx::<i32>::ZERO; len],
+            pos: 0,
+            shift,
+        }
     }
 
     /// Number of taps.
@@ -152,7 +157,10 @@ impl<T: Copy + Default> DelayLine<T> {
     /// Panics if `depth` is zero.
     pub fn new(depth: usize) -> Self {
         assert!(depth > 0, "delay line depth must be positive");
-        DelayLine { buf: vec![T::default(); depth], pos: 0 }
+        DelayLine {
+            buf: vec![T::default(); depth],
+            pos: 0,
+        }
     }
 
     /// Pushes a sample, returning the sample from `depth` pushes earlier.
@@ -177,7 +185,7 @@ mod tests {
     fn fir_impulse_response_is_taps() {
         let mut fir = FirI32::new(vec![3, -2, 5], 0);
         let mut input = vec![Cplx::new(1, 0)];
-        input.extend(std::iter::repeat(Cplx::<i32>::ZERO).take(4));
+        input.extend(std::iter::repeat_n(Cplx::<i32>::ZERO, 4));
         let y: Vec<i32> = input.iter().map(|&v| fir.push(v).re).collect();
         assert_eq!(&y[..3], &[3, -2, 5]);
         assert_eq!(&y[3..], &[0, 0]);
@@ -199,14 +207,18 @@ mod tests {
 
     #[test]
     fn cross_correlation_peaks_at_alignment() {
-        let pattern: Vec<Cplx<i32>> =
-            [1, -1, 1, 1].iter().map(|&v| Cplx::new(v, 0)).collect();
+        let pattern: Vec<Cplx<i32>> = [1, -1, 1, 1].iter().map(|&v| Cplx::new(v, 0)).collect();
         let mut x = vec![Cplx::<i32>::ZERO; 10];
         for (k, &p) in pattern.iter().enumerate() {
             x[4 + k] = p.scale(7);
         }
         let y = cross_correlate(&x, &pattern, 0);
-        let peak = y.iter().enumerate().max_by_key(|(_, v)| v.sqmag()).unwrap().0;
+        let peak = y
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, v)| v.sqmag())
+            .unwrap()
+            .0;
         assert_eq!(peak, 4);
         assert_eq!(y[4], Cplx::new(28, 0));
     }

@@ -30,7 +30,7 @@ pub const Q15_ONE: i32 = (1 << 15) - 1;
 /// ```
 #[inline]
 pub fn sat(v: i64, bits: u32) -> i32 {
-    assert!(bits >= 1 && bits <= 31, "sat: bits must be in 1..=31");
+    assert!((1..=31).contains(&bits), "sat: bits must be in 1..=31");
     let max = (1i64 << (bits - 1)) - 1;
     let min = -(1i64 << (bits - 1));
     v.clamp(min, max) as i32
@@ -128,7 +128,7 @@ pub fn fits(v: i64, bits: u32) -> bool {
 /// ```
 #[inline]
 pub fn wrap(v: i64, bits: u32) -> i32 {
-    debug_assert!(bits >= 1 && bits <= 32);
+    debug_assert!((1..=32).contains(&bits));
     let shift = 64 - bits;
     ((v << shift) >> shift) as i32
 }

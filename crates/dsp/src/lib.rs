@@ -44,6 +44,7 @@ pub mod filter;
 pub mod fixed;
 pub mod metrics;
 pub mod noise;
+pub mod rng;
 
 pub use complex::Cplx;
 pub use fixed::{sat24, shr_round, Q15_ONE};

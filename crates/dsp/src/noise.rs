@@ -5,12 +5,11 @@
 //! generators are seeded explicitly so every experiment is reproducible.
 
 use crate::complex::Cplx;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use crate::rng::Rng64;
 
 /// A complex additive-white-Gaussian-noise source.
 ///
-/// Samples are drawn with the Box–Muller transform from a seeded [`StdRng`],
+/// Samples are drawn with the Box–Muller transform from a seeded [`Rng64`],
 /// so a given seed always produces the same noise realisation.
 ///
 /// # Example
@@ -24,7 +23,7 @@ use rand::{RngExt, SeedableRng};
 /// ```
 #[derive(Debug)]
 pub struct Awgn {
-    rng: StdRng,
+    rng: Rng64,
     /// Standard deviation per real dimension.
     sigma: f64,
 }
@@ -32,7 +31,10 @@ pub struct Awgn {
 impl Awgn {
     /// Creates a generator with per-dimension standard deviation `sigma`.
     pub fn new(seed: u64, sigma: f64) -> Self {
-        Awgn { rng: StdRng::seed_from_u64(seed), sigma }
+        Awgn {
+            rng: Rng64::seed_from_u64(seed),
+            sigma,
+        }
     }
 
     /// Per-dimension standard deviation.
@@ -48,16 +50,7 @@ impl Awgn {
 
     /// Draws a pair of independent standard normal variates.
     fn gaussian_pair(&mut self) -> (f64, f64) {
-        let u1: f64 = loop {
-            let u: f64 = self.rng.random();
-            if u > f64::MIN_POSITIVE {
-                break u;
-            }
-        };
-        let u2: f64 = self.rng.random();
-        let r = (-2.0 * u1.ln()).sqrt();
-        let theta = 2.0 * std::f64::consts::PI * u2;
-        (r * theta.cos(), r * theta.sin())
+        self.rng.next_gaussian_pair()
     }
 
     /// Adds noise to a float sample stream in place.
@@ -86,7 +79,7 @@ pub fn sigma_for_ebn0(es: f64, bits_per_symbol: f64, spreading: f64, ebn0_db: f6
 /// slot and decorrelate over many slots (pedestrian mobility).
 #[derive(Debug)]
 pub struct RayleighTap {
-    rng: StdRng,
+    rng: Rng64,
     state: Cplx<f64>,
     /// One-pole coefficient; closer to 1.0 = slower fading.
     rho: f64,
@@ -105,7 +98,12 @@ impl RayleighTap {
         assert!(doppler_norm > 0.0 && doppler_norm < 1.0);
         let rho = 1.0 - doppler_norm;
         let gain = (1.0 - rho * rho).sqrt() / 2f64.sqrt();
-        let mut tap = RayleighTap { rng: StdRng::seed_from_u64(seed), state: Cplx::<f64>::ZERO, rho, gain };
+        let mut tap = RayleighTap {
+            rng: Rng64::seed_from_u64(seed),
+            state: Cplx::<f64>::ZERO,
+            rho,
+            gain,
+        };
         // Burn in so the process starts in steady state.
         for _ in 0..256 {
             tap.step();
@@ -115,7 +113,7 @@ impl RayleighTap {
 
     /// Advances the fading process one update and returns the complex gain.
     pub fn step(&mut self) -> Cplx<f64> {
-        let (a, b) = gaussian_pair(&mut self.rng);
+        let (a, b) = self.rng.next_gaussian_pair();
         self.state = Cplx::new(
             self.rho * self.state.re + self.gain * a,
             self.rho * self.state.im + self.gain * b,
@@ -127,19 +125,6 @@ impl RayleighTap {
     pub fn gain(&self) -> Cplx<f64> {
         self.state
     }
-}
-
-fn gaussian_pair(rng: &mut StdRng) -> (f64, f64) {
-    let u1: f64 = loop {
-        let u: f64 = rng.random();
-        if u > f64::MIN_POSITIVE {
-            break u;
-        }
-    };
-    let u2: f64 = rng.random();
-    let r = (-2.0 * u1.ln()).sqrt();
-    let theta = 2.0 * std::f64::consts::PI * u2;
-    (r * theta.cos(), r * theta.sin())
 }
 
 #[cfg(test)]

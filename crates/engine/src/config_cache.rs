@@ -1,0 +1,194 @@
+//! Per-worker LRU cache of built netlists.
+//!
+//! Building and placing a netlist is the expensive part of activating a
+//! configuration; streaming it over the serial configuration bus is the
+//! cheap-but-nonzero part (the paper's §4 motivation for configuration
+//! caching). Each worker keeps the netlists it has built, keyed by
+//! configuration name, so a terminal re-entering a state it has visited
+//! before — or a *different* terminal requesting the same standard's
+//! kernel — pays only the bus cycles, never a rebuild.
+
+use xpp_array::Netlist;
+
+/// Outcome of a cache lookup, consumed by the worker's activation path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lookup {
+    /// Index of the entry (valid until the next mutating call).
+    pub index: usize,
+    /// The netlist was already cached; no rebuild happened.
+    pub hit: bool,
+    /// An LRU entry was dropped to make room.
+    pub evicted: bool,
+}
+
+#[derive(Debug)]
+struct Entry {
+    name: String,
+    netlist: Netlist,
+    last_used: u64,
+}
+
+/// A bounded least-recently-used cache of built netlists.
+#[derive(Debug)]
+pub struct ConfigCache {
+    capacity: usize,
+    entries: Vec<Entry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl ConfigCache {
+    /// Creates an empty cache holding at most `capacity` netlists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        ConfigCache {
+            capacity,
+            entries: Vec::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Returns the cached netlist for `name`, building (and caching) it
+    /// with `build` on a miss. The LRU entry is evicted when full.
+    pub fn get_or_build<F: FnOnce() -> Netlist>(&mut self, name: &str, build: F) -> Lookup {
+        self.tick += 1;
+        if let Some(index) = self.entries.iter().position(|e| e.name == name) {
+            self.hits += 1;
+            self.entries[index].last_used = self.tick;
+            return Lookup {
+                index,
+                hit: true,
+                evicted: false,
+            };
+        }
+        self.misses += 1;
+        let mut evicted = false;
+        if self.entries.len() == self.capacity {
+            let lru = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+                .expect("cache is full, so nonempty");
+            self.entries.swap_remove(lru);
+            self.evictions += 1;
+            evicted = true;
+        }
+        self.entries.push(Entry {
+            name: name.to_string(),
+            netlist: build(),
+            last_used: self.tick,
+        });
+        Lookup {
+            index: self.entries.len() - 1,
+            hit: false,
+            evicted,
+        }
+    }
+
+    /// The netlist stored at `index` (from the last [`Lookup`]).
+    pub fn netlist(&self, index: usize) -> &Netlist {
+        &self.entries[index].netlist
+    }
+
+    /// Whether `name` is currently cached (no LRU touch).
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.iter().any(|e| e.name == name)
+    }
+
+    /// Number of cached netlists.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Maximum number of cached netlists.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lookups served without a rebuild.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that had to build the netlist.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Entries dropped to make room.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpp_array::{NetlistBuilder, UnaryOp};
+
+    fn tiny(name: &str) -> Netlist {
+        let mut nl = NetlistBuilder::new(name);
+        let x = nl.input("x");
+        let y = nl.unary(UnaryOp::Abs, x);
+        nl.output("y", y);
+        nl.build().expect("tiny netlist is well formed")
+    }
+
+    #[test]
+    fn second_lookup_is_a_hit_without_rebuild() {
+        let mut cache = ConfigCache::new(4);
+        let mut builds = 0;
+        let first = cache.get_or_build("a", || {
+            builds += 1;
+            tiny("a")
+        });
+        assert!(!first.hit);
+        let second = cache.get_or_build("a", || {
+            builds += 1;
+            tiny("a")
+        });
+        assert!(second.hit);
+        assert_eq!(builds, 1, "hit must not rebuild");
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut cache = ConfigCache::new(2);
+        cache.get_or_build("a", || tiny("a"));
+        cache.get_or_build("b", || tiny("b"));
+        cache.get_or_build("a", || tiny("a")); // touch a; b is now LRU
+        let l = cache.get_or_build("c", || tiny("c"));
+        assert!(l.evicted);
+        assert!(cache.contains("a") && cache.contains("c") && !cache.contains("b"));
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn lookup_index_addresses_the_right_netlist() {
+        let mut cache = ConfigCache::new(2);
+        let a = cache.get_or_build("a", || tiny("a"));
+        assert_eq!(cache.netlist(a.index).name(), "a");
+        let b = cache.get_or_build("b", || tiny("b"));
+        assert_eq!(cache.netlist(b.index).name(), "b");
+        let a2 = cache.get_or_build("a", || tiny("a"));
+        assert_eq!(cache.netlist(a2.index).name(), "a");
+    }
+}

@@ -1,0 +1,215 @@
+//! Multi-terminal baseband engine.
+//!
+//! The paper's platform runs *one* terminal's baseband on a reconfigurable
+//! array; a base-station (or a dense simulation farm) must run many. This
+//! crate scales the single-terminal pipelines of `sdr_wcdma` and
+//! `sdr_ofdm` across a sharded pool of worker threads, each owning one
+//! simulated XPP array:
+//!
+//! * [`session`] — per-terminal state machines (W-CDMA rake acquisition,
+//!   802.11a preamble detect → demodulate with the Fig. 10 runtime
+//!   reconfiguration);
+//! * [`pool`] — bounded-queue worker shards with `WouldBlock`
+//!   backpressure and earliest-deadline-first dispatch;
+//! * [`config_cache`] — per-worker LRU caches of built netlists, so
+//!   repeated activations pay configuration-bus cycles, never a rebuild;
+//! * [`metrics`] — a lock-free registry every component reports into.
+//!
+//! [`Engine`] ties them together: admission control via
+//! [`sdr_core::scheduler::schedule_edf`], then a submit/collect loop that
+//! re-queues sessions until every terminal reaches a terminal state.
+//!
+//! ```
+//! use sdr_engine::{Engine, EngineConfig, Session};
+//!
+//! let mut engine = Engine::new(EngineConfig { shards: 2, ..EngineConfig::default() });
+//! let sessions = vec![Session::wcdma(0, 1), Session::ofdm(1, 2)];
+//! let summary = engine.run(sessions);
+//! assert_eq!(summary.completed.len(), 2);
+//! println!("{}", summary.snapshot);
+//! ```
+
+pub mod config_cache;
+pub mod metrics;
+pub mod pool;
+pub mod session;
+
+pub use config_cache::ConfigCache;
+pub use metrics::{KernelKind, Metrics, Snapshot};
+pub use pool::{PoolConfig, ShardPool, SubmitError, WorkerArray};
+pub use session::{Session, SessionState, Standard};
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use sdr_core::scheduler::{schedule_edf, ScheduleReport};
+
+/// EDF admission-control horizon in array cycles (two W-CDMA slots).
+pub const ADMISSION_HORIZON_CYCLES: u64 = 2 * session::WCDMA_PERIOD_CYCLES;
+
+/// Engine sizing. Mirrors [`PoolConfig`] minus the test-only pause knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker shards (one array each).
+    pub shards: usize,
+    /// Bounded per-shard queue depth.
+    pub queue_depth: usize,
+    /// Netlists each worker may cache.
+    pub cache_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        let p = PoolConfig::default();
+        EngineConfig {
+            shards: p.shards,
+            queue_depth: p.queue_depth,
+            cache_capacity: p.cache_capacity,
+        }
+    }
+}
+
+/// What a [`Engine::run`] call produced.
+#[derive(Debug)]
+pub struct RunSummary {
+    /// Sessions that reached `Done` or `Failed`, in completion order.
+    pub completed: Vec<Session>,
+    /// Per-shard EDF admission reports for the offered load.
+    pub admission: Vec<ScheduleReport>,
+    /// Metrics snapshot taken when the run drained.
+    pub snapshot: Snapshot,
+}
+
+impl RunSummary {
+    /// True when every shard's offered load was EDF-feasible.
+    pub fn admission_feasible(&self) -> bool {
+        self.admission.iter().all(ScheduleReport::feasible)
+    }
+
+    /// Sessions that ended in `Done`.
+    pub fn done(&self) -> usize {
+        self.completed
+            .iter()
+            .filter(|s| *s.state() == SessionState::Done)
+            .count()
+    }
+
+    /// Sessions that ended in `Failed`.
+    pub fn failed(&self) -> usize {
+        self.completed.len() - self.done()
+    }
+}
+
+/// The multi-terminal engine front end.
+pub struct Engine {
+    pool: ShardPool,
+    metrics: Arc<Metrics>,
+}
+
+impl Engine {
+    /// Spawns the worker pool.
+    pub fn new(config: EngineConfig) -> Self {
+        let metrics = Arc::new(Metrics::new());
+        let pool = ShardPool::new(
+            PoolConfig {
+                shards: config.shards,
+                queue_depth: config.queue_depth,
+                cache_capacity: config.cache_capacity,
+                start_paused: false,
+            },
+            Arc::clone(&metrics),
+        );
+        Engine { pool, metrics }
+    }
+
+    /// The shared metrics registry.
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// A point-in-time metrics snapshot.
+    pub fn snapshot(&self) -> Snapshot {
+        self.metrics.snapshot()
+    }
+
+    /// The underlying pool (pause/resume and direct submission).
+    pub fn pool(&self) -> &ShardPool {
+        &self.pool
+    }
+
+    /// Runs a batch of sessions to completion: submits each to its shard,
+    /// re-queues non-terminal sessions as workers hand them back, and
+    /// retries `WouldBlock` rejections after draining results. Returns
+    /// once every session is terminal.
+    pub fn run(&mut self, sessions: Vec<Session>) -> RunSummary {
+        let shards = self.pool.shard_count();
+        let mut shard_jobs = vec![Vec::new(); shards];
+        for s in &sessions {
+            shard_jobs[self.pool.shard_of(s)].push(s.scheduler_job());
+        }
+        let admission: Vec<ScheduleReport> = shard_jobs
+            .iter()
+            .map(|jobs| {
+                if jobs.is_empty() {
+                    // An idle shard (more shards than sessions) is trivially
+                    // feasible; `schedule_edf` rejects empty job sets.
+                    ScheduleReport {
+                        horizon: ADMISSION_HORIZON_CYCLES,
+                        busy: 0,
+                        timeline: Vec::new(),
+                        misses: Vec::new(),
+                    }
+                } else {
+                    schedule_edf(jobs, ADMISSION_HORIZON_CYCLES)
+                }
+            })
+            .collect();
+
+        Metrics::add(&self.metrics.sessions_started, sessions.len() as u64);
+        let mut backlog: VecDeque<Session> = sessions.into();
+        let mut outstanding = 0usize;
+        let mut completed = Vec::new();
+        while !backlog.is_empty() || outstanding > 0 {
+            while let Some(session) = backlog.pop_front() {
+                match self.pool.submit(session) {
+                    Ok(_) => outstanding += 1,
+                    Err(SubmitError::WouldBlock(s)) => {
+                        backlog.push_front(s);
+                        break;
+                    }
+                    Err(SubmitError::Shutdown(s)) => {
+                        // Cannot happen while the pool is alive; keep the
+                        // session rather than lose it.
+                        backlog.push_front(s);
+                        break;
+                    }
+                }
+            }
+            if outstanding > 0 {
+                let session = self
+                    .pool
+                    .recv()
+                    .expect("workers alive while jobs are in flight");
+                outstanding -= 1;
+                if session.is_terminal() {
+                    completed.push(session);
+                } else {
+                    backlog.push_back(session);
+                }
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        RunSummary {
+            completed,
+            admission,
+            snapshot: self.metrics.snapshot(),
+        }
+    }
+
+    /// Shuts the pool down, returning any sessions still in flight (each
+    /// stepped once more by its worker while draining).
+    pub fn shutdown(self) -> Vec<Session> {
+        self.pool.shutdown()
+    }
+}

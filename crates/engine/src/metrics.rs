@@ -1,0 +1,271 @@
+//! Lock-free engine metrics.
+//!
+//! One [`Metrics`] registry is shared (via `Arc`) between the engine
+//! front end and every worker shard. All counters are relaxed atomics —
+//! they are statistics, not synchronisation — and a point-in-time
+//! [`Snapshot`] can be taken at any moment and rendered as a
+//! human-readable report.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of distinct kernel classes tracked by the per-kernel counters.
+pub const KERNEL_KINDS: usize = KernelKind::ALL.len();
+
+/// The baseband kernel classes whose array cycles are tracked separately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelKind {
+    /// W-CDMA descrambler (paper Fig. 5).
+    Descrambler,
+    /// W-CDMA despreader (paper Fig. 6).
+    Despreader,
+    /// OFDM preamble-detection correlator (configuration 2a).
+    PreambleDetector,
+    /// OFDM QPSK demodulator (configuration 2b).
+    Demodulator,
+}
+
+impl KernelKind {
+    /// Every kernel kind, in display order.
+    pub const ALL: [KernelKind; 4] = [
+        KernelKind::Descrambler,
+        KernelKind::Despreader,
+        KernelKind::PreambleDetector,
+        KernelKind::Demodulator,
+    ];
+
+    /// Stable index into per-kernel counter arrays.
+    pub fn index(self) -> usize {
+        match self {
+            KernelKind::Descrambler => 0,
+            KernelKind::Despreader => 1,
+            KernelKind::PreambleDetector => 2,
+            KernelKind::Demodulator => 3,
+        }
+    }
+
+    /// Human-readable kernel name.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelKind::Descrambler => "wcdma-descrambler",
+            KernelKind::Despreader => "wcdma-despreader",
+            KernelKind::PreambleDetector => "ofdm-preamble-detector",
+            KernelKind::Demodulator => "ofdm-demodulator",
+        }
+    }
+}
+
+/// The engine's shared counter registry.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Sessions admitted to the engine.
+    pub sessions_started: AtomicU64,
+    /// Sessions that reached [`Done`](crate::session::SessionState::Done).
+    pub sessions_completed: AtomicU64,
+    /// Sessions that reached a failure state.
+    pub sessions_failed: AtomicU64,
+    /// Jobs executed by workers.
+    pub jobs_run: AtomicU64,
+    /// Submissions rejected with `WouldBlock` (shard queue full).
+    pub jobs_rejected: AtomicU64,
+    /// Runtime reconfigurations (a configuration unloaded and another
+    /// loaded in its place, as in the paper's Fig. 10 swap).
+    pub reconfigurations: AtomicU64,
+    /// Configuration-cache hits (netlist served without a rebuild).
+    pub cache_hits: AtomicU64,
+    /// Configuration-cache misses (netlist built and placed).
+    pub cache_misses: AtomicU64,
+    /// Configurations evicted from a worker's cache.
+    pub cache_evictions: AtomicU64,
+    /// High-water mark of any shard's queue depth.
+    pub queue_high_water: AtomicU64,
+    /// Configuration-bus cycles spent loading configurations.
+    pub config_bus_cycles: AtomicU64,
+    /// Array execution cycles per kernel class.
+    kernel_cycles: [AtomicU64; KERNEL_KINDS],
+    /// Jobs per kernel class.
+    kernel_jobs: [AtomicU64; KERNEL_KINDS],
+}
+
+impl Metrics {
+    /// Creates a zeroed registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Adds `n` to a counter.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments a counter by one.
+    pub fn incr(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Raises `counter` to at least `value` (monotonic high-water mark).
+    pub fn raise_to(counter: &AtomicU64, value: u64) {
+        counter.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records one kernel job and its measured array cycles.
+    pub fn record_kernel(&self, kind: KernelKind, cycles: u64) {
+        self.kernel_jobs[kind.index()].fetch_add(1, Ordering::Relaxed);
+        self.kernel_cycles[kind.index()].fetch_add(cycles, Ordering::Relaxed);
+    }
+
+    /// Takes a point-in-time snapshot of every counter.
+    pub fn snapshot(&self) -> Snapshot {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        Snapshot {
+            sessions_started: load(&self.sessions_started),
+            sessions_completed: load(&self.sessions_completed),
+            sessions_failed: load(&self.sessions_failed),
+            jobs_run: load(&self.jobs_run),
+            jobs_rejected: load(&self.jobs_rejected),
+            reconfigurations: load(&self.reconfigurations),
+            cache_hits: load(&self.cache_hits),
+            cache_misses: load(&self.cache_misses),
+            cache_evictions: load(&self.cache_evictions),
+            queue_high_water: load(&self.queue_high_water),
+            config_bus_cycles: load(&self.config_bus_cycles),
+            kernel_cycles: std::array::from_fn(|i| load(&self.kernel_cycles[i])),
+            kernel_jobs: std::array::from_fn(|i| load(&self.kernel_jobs[i])),
+        }
+    }
+}
+
+/// A point-in-time copy of the registry, cheap to pass around and print.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    /// Sessions admitted.
+    pub sessions_started: u64,
+    /// Sessions completed.
+    pub sessions_completed: u64,
+    /// Sessions failed.
+    pub sessions_failed: u64,
+    /// Jobs executed.
+    pub jobs_run: u64,
+    /// Submissions rejected with `WouldBlock`.
+    pub jobs_rejected: u64,
+    /// Runtime reconfigurations.
+    pub reconfigurations: u64,
+    /// Configuration-cache hits.
+    pub cache_hits: u64,
+    /// Configuration-cache misses.
+    pub cache_misses: u64,
+    /// Configuration-cache evictions.
+    pub cache_evictions: u64,
+    /// Deepest observed shard queue.
+    pub queue_high_water: u64,
+    /// Configuration-bus cycles.
+    pub config_bus_cycles: u64,
+    /// Array cycles per kernel class (indexed by [`KernelKind::index`]).
+    pub kernel_cycles: [u64; KERNEL_KINDS],
+    /// Jobs per kernel class (indexed by [`KernelKind::index`]).
+    pub kernel_jobs: [u64; KERNEL_KINDS],
+}
+
+impl Snapshot {
+    /// Cache hit rate in `[0, 1]`, or 0 with no activations.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Total array cycles across all kernel classes.
+    pub fn total_kernel_cycles(&self) -> u64 {
+        self.kernel_cycles.iter().sum()
+    }
+}
+
+impl fmt::Display for Snapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "engine metrics")?;
+        writeln!(
+            f,
+            "  sessions    started {:>8}  completed {:>8}  failed {:>4}",
+            self.sessions_started, self.sessions_completed, self.sessions_failed
+        )?;
+        writeln!(
+            f,
+            "  jobs        run     {:>8}  rejected  {:>8}  queue high-water {:>4}",
+            self.jobs_run, self.jobs_rejected, self.queue_high_water
+        )?;
+        writeln!(
+            f,
+            "  reconfig    swaps   {:>8}  bus cycles {:>12}",
+            self.reconfigurations, self.config_bus_cycles
+        )?;
+        writeln!(
+            f,
+            "  cfg cache   hits    {:>8}  misses    {:>8}  evictions {:>4}  hit rate {:>5.1}%",
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_evictions,
+            100.0 * self.cache_hit_rate()
+        )?;
+        writeln!(f, "  kernels")?;
+        for kind in KernelKind::ALL {
+            let i = kind.index();
+            writeln!(
+                f,
+                "    {:<24} jobs {:>8}  array cycles {:>12}",
+                kind.name(),
+                self.kernel_jobs[i],
+                self.kernel_cycles[i]
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::new();
+        Metrics::incr(&m.sessions_started);
+        Metrics::add(&m.jobs_run, 5);
+        m.record_kernel(KernelKind::Despreader, 123);
+        m.record_kernel(KernelKind::Despreader, 77);
+        let s = m.snapshot();
+        assert_eq!(s.sessions_started, 1);
+        assert_eq!(s.jobs_run, 5);
+        assert_eq!(s.kernel_jobs[KernelKind::Despreader.index()], 2);
+        assert_eq!(s.kernel_cycles[KernelKind::Despreader.index()], 200);
+        assert_eq!(s.total_kernel_cycles(), 200);
+    }
+
+    #[test]
+    fn high_water_is_monotonic() {
+        let m = Metrics::new();
+        Metrics::raise_to(&m.queue_high_water, 4);
+        Metrics::raise_to(&m.queue_high_water, 2);
+        Metrics::raise_to(&m.queue_high_water, 9);
+        assert_eq!(m.snapshot().queue_high_water, 9);
+    }
+
+    #[test]
+    fn hit_rate_handles_zero() {
+        assert_eq!(Snapshot::default().cache_hit_rate(), 0.0);
+        let m = Metrics::new();
+        Metrics::add(&m.cache_hits, 3);
+        Metrics::add(&m.cache_misses, 1);
+        assert!((m.snapshot().cache_hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_every_kernel() {
+        let text = Snapshot::default().to_string();
+        for kind in KernelKind::ALL {
+            assert!(text.contains(kind.name()), "missing {}", kind.name());
+        }
+    }
+}

@@ -1,0 +1,550 @@
+//! Sharded worker pool: each worker thread owns one simulated XPP array.
+//!
+//! Terminal sessions are submitted to a shard chosen by session id
+//! (sticky affinity, so a terminal keeps hitting the same worker's
+//! configuration cache). Each shard has a *bounded* queue: a full shard
+//! rejects the submission with [`SubmitError::WouldBlock`] instead of
+//! buffering unboundedly, which is the engine's backpressure signal.
+//! Workers drain their queue into a deadline-ordered heap and always run
+//! the most urgent session next (EDF dispatch, the runtime counterpart of
+//! [`sdr_core::scheduler::schedule_edf`]).
+
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TryRecvError, TrySendError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use xpp_array::{Array, ConfigId, Error as XppError, Netlist, Result as XppResult};
+
+use crate::config_cache::ConfigCache;
+use crate::metrics::Metrics;
+use crate::session::Session;
+
+/// A worker's execution context: its private array plus the configuration
+/// state layered on top of it.
+///
+/// `activate` is the only way sessions load configurations, so every load
+/// goes through three tiers:
+///
+/// 1. **resident** — the configuration is already on the array: free;
+/// 2. **cached** — the netlist is in the [`ConfigCache`]: pay only the
+///    serial configuration bus;
+/// 3. **miss** — build the netlist, cache it, then load it.
+///
+/// When placement fails, the least recently used resident configuration
+/// is unloaded and the load retried — the paper's Fig. 10 resource
+/// recycling, applied automatically.
+#[derive(Debug)]
+pub struct WorkerArray {
+    array: Array,
+    cache: ConfigCache,
+    /// Resident configurations, least recently used first.
+    resident: Vec<(String, ConfigId)>,
+    metrics: Arc<Metrics>,
+}
+
+impl WorkerArray {
+    /// Creates a worker context around a fresh XPP-64A.
+    pub fn new(cache_capacity: usize, metrics: Arc<Metrics>) -> Self {
+        WorkerArray {
+            array: Array::xpp64a(),
+            cache: ConfigCache::new(cache_capacity),
+            resident: Vec::new(),
+            metrics,
+        }
+    }
+
+    /// The underlying array, for driving I/O on an activated configuration.
+    pub fn array_mut(&mut self) -> &mut Array {
+        &mut self.array
+    }
+
+    /// Read-only view of the array (stats, placements).
+    pub fn array(&self) -> &Array {
+        &self.array
+    }
+
+    /// The shared metrics registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The worker's netlist cache (counters for tests and reports).
+    pub fn cache(&self) -> &ConfigCache {
+        &self.cache
+    }
+
+    /// Whether `name` is currently loaded on the array.
+    pub fn is_resident(&self, name: &str) -> bool {
+        self.resident.iter().any(|(n, _)| n == name)
+    }
+
+    /// Ensures the named configuration is loaded and returns its handle.
+    ///
+    /// `build` must produce a netlist whose name equals `name` (the name
+    /// is the cache key).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if placement fails even after unloading every
+    /// other resident configuration.
+    pub fn activate<F: FnOnce() -> Netlist>(
+        &mut self,
+        name: &str,
+        build: F,
+    ) -> XppResult<ConfigId> {
+        if let Some(pos) = self.resident.iter().position(|(n, _)| n == name) {
+            let entry = self.resident.remove(pos);
+            let id = entry.1;
+            self.resident.push(entry);
+            Metrics::incr(&self.metrics.cache_hits);
+            return Ok(id);
+        }
+        let lookup = self.cache.get_or_build(name, build);
+        debug_assert_eq!(self.cache.netlist(lookup.index).name(), name);
+        Metrics::incr(if lookup.hit {
+            &self.metrics.cache_hits
+        } else {
+            &self.metrics.cache_misses
+        });
+        if lookup.evicted {
+            Metrics::incr(&self.metrics.cache_evictions);
+        }
+        let bus_before = self.array.stats().config_cycles;
+        let netlist = self.cache.netlist(lookup.index);
+        let id = loop {
+            match self.array.configure(netlist) {
+                Ok(id) => break id,
+                Err(XppError::PlacementFailed { .. }) if !self.resident.is_empty() => {
+                    let (_, old) = self.resident.remove(0);
+                    self.array.unload(old)?;
+                    Metrics::incr(&self.metrics.cache_evictions);
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        // Stream the objects over the serial configuration bus now, so the
+        // activation (not the first data run) pays the load latency.
+        while !self.array.is_running(id) {
+            self.array.step();
+        }
+        Metrics::add(
+            &self.metrics.config_bus_cycles,
+            self.array.stats().config_cycles - bus_before,
+        );
+        self.resident.push((name.to_string(), id));
+        Ok(id)
+    }
+
+    /// Unloads the named configuration if resident; returns whether it was.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the array rejects the unload.
+    pub fn deactivate(&mut self, name: &str) -> XppResult<bool> {
+        match self.resident.iter().position(|(n, _)| n == name) {
+            Some(pos) => {
+                let (_, id) = self.resident.remove(pos);
+                self.array.unload(id)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// The Fig. 10 swap: unloads `from` (if resident) and activates `to`
+    /// in the freed resources. Counted as a runtime reconfiguration when
+    /// an unload actually happened.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the unload or the activation fails.
+    pub fn swap<F: FnOnce() -> Netlist>(
+        &mut self,
+        from: &str,
+        to: &str,
+        build: F,
+    ) -> XppResult<ConfigId> {
+        let unloaded = self.deactivate(from)?;
+        if unloaded {
+            Metrics::incr(&self.metrics.reconfigurations);
+        }
+        self.activate(to, build)
+    }
+}
+
+/// Pool sizing and behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolConfig {
+    /// Number of worker threads (each owning one array).
+    pub shards: usize,
+    /// Bounded depth of each shard's submission queue.
+    pub queue_depth: usize,
+    /// Netlists each worker may cache.
+    pub cache_capacity: usize,
+    /// Start every worker paused (deterministic backpressure tests);
+    /// resume with [`ShardPool::resume`].
+    pub start_paused: bool,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            shards: 4,
+            queue_depth: 32,
+            cache_capacity: 8,
+            start_paused: false,
+        }
+    }
+}
+
+/// Why a submission was not accepted. The session is handed back so the
+/// caller can retry or reroute it.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The target shard's queue is full — backpressure.
+    WouldBlock(Session),
+    /// The pool has been shut down.
+    Shutdown(Session),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::WouldBlock(s) => {
+                write!(f, "shard queue full for session {}", s.id())
+            }
+            SubmitError::Shutdown(s) => {
+                write!(f, "pool shut down; session {} rejected", s.id())
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Heap entry ordering sessions by (deadline, arrival) — earliest first.
+struct QueuedSession {
+    deadline: u64,
+    seq: u64,
+    session: Session,
+}
+
+impl QueuedSession {
+    fn key(&self) -> (u64, u64) {
+        (self.deadline, self.seq)
+    }
+}
+
+impl PartialEq for QueuedSession {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+
+impl Eq for QueuedSession {}
+
+impl PartialOrd for QueuedSession {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for QueuedSession {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest deadline.
+        other.key().cmp(&self.key())
+    }
+}
+
+#[derive(Debug, Default)]
+struct PauseGate {
+    paused: Mutex<bool>,
+    unpaused: Condvar,
+}
+
+impl PauseGate {
+    fn set(&self, paused: bool) {
+        *self.paused.lock().expect("pause gate poisoned") = paused;
+        self.unpaused.notify_all();
+    }
+
+    fn wait_ready(&self) {
+        let mut guard = self.paused.lock().expect("pause gate poisoned");
+        while *guard {
+            guard = self.unpaused.wait(guard).expect("pause gate poisoned");
+        }
+    }
+}
+
+struct ShardHandle {
+    queue: Option<SyncSender<Session>>,
+    depth: Arc<AtomicU64>,
+    pause: Arc<PauseGate>,
+    worker: Option<JoinHandle<()>>,
+}
+
+/// The sharded worker pool.
+pub struct ShardPool {
+    shards: Vec<ShardHandle>,
+    results: Receiver<Session>,
+    metrics: Arc<Metrics>,
+}
+
+impl ShardPool {
+    /// Spawns `config.shards` workers, each with its own array and cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` or `queue_depth` is zero.
+    pub fn new(config: PoolConfig, metrics: Arc<Metrics>) -> Self {
+        assert!(config.shards > 0, "pool needs at least one shard");
+        assert!(config.queue_depth > 0, "queue depth must be positive");
+        let (results_tx, results) = mpsc::channel();
+        let shards = (0..config.shards)
+            .map(|_| {
+                let (tx, rx) = mpsc::sync_channel::<Session>(config.queue_depth);
+                let depth = Arc::new(AtomicU64::new(0));
+                let pause = Arc::new(PauseGate::default());
+                pause.set(config.start_paused);
+                let worker = {
+                    let results_tx = results_tx.clone();
+                    let depth = Arc::clone(&depth);
+                    let pause = Arc::clone(&pause);
+                    let metrics = Arc::clone(&metrics);
+                    let cache_capacity = config.cache_capacity;
+                    std::thread::spawn(move || {
+                        worker_loop(rx, results_tx, depth, pause, metrics, cache_capacity)
+                    })
+                };
+                ShardHandle {
+                    queue: Some(tx),
+                    depth,
+                    pause,
+                    worker: Some(worker),
+                }
+            })
+            .collect();
+        ShardPool {
+            shards,
+            results,
+            metrics,
+        }
+    }
+
+    /// Number of worker shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a session maps to (sticky affinity by id).
+    pub fn shard_of(&self, session: &Session) -> usize {
+        (session.id() % self.shards.len() as u64) as usize
+    }
+
+    /// Submits a session to its shard without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::WouldBlock`] hands the session back when the shard
+    /// queue is full; [`SubmitError::Shutdown`] when the pool is closed.
+    // The error variants carry the rejected `Session` back to the caller by
+    // design, so the Err side is as large as a session.
+    #[allow(clippy::result_large_err)]
+    pub fn submit(&self, session: Session) -> Result<usize, SubmitError> {
+        let shard = self.shard_of(&session);
+        let handle = &self.shards[shard];
+        let Some(queue) = handle.queue.as_ref() else {
+            return Err(SubmitError::Shutdown(session));
+        };
+        // Count before sending: the worker decrements on receive, and the
+        // receive may land before a post-send increment would.
+        let depth = handle.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        match queue.try_send(session) {
+            Ok(()) => {
+                Metrics::raise_to(&self.metrics.queue_high_water, depth);
+                Ok(shard)
+            }
+            Err(TrySendError::Full(s)) => {
+                handle.depth.fetch_sub(1, Ordering::Relaxed);
+                Metrics::incr(&self.metrics.jobs_rejected);
+                Err(SubmitError::WouldBlock(s))
+            }
+            Err(TrySendError::Disconnected(s)) => {
+                handle.depth.fetch_sub(1, Ordering::Relaxed);
+                Err(SubmitError::Shutdown(s))
+            }
+        }
+    }
+
+    /// Blocks for the next session a worker finished stepping. Returns
+    /// `None` only after shutdown, once every worker has exited.
+    pub fn recv(&self) -> Option<Session> {
+        self.results.recv().ok()
+    }
+
+    /// Pauses a shard: its worker finishes the current job, then idles.
+    pub fn pause(&self, shard: usize) {
+        self.shards[shard].pause.set(true);
+    }
+
+    /// Resumes a paused shard.
+    pub fn resume(&self, shard: usize) {
+        self.shards[shard].pause.set(false);
+    }
+
+    /// Current queued depth of a shard (approximate under concurrency).
+    pub fn queue_depth(&self, shard: usize) -> u64 {
+        self.shards[shard].depth.load(Ordering::Relaxed)
+    }
+
+    /// Closes the pool: stops accepting work, lets every worker drain its
+    /// queue (each in-flight session is stepped once more), joins the
+    /// workers, and returns the sessions that were still in flight.
+    pub fn shutdown(mut self) -> Vec<Session> {
+        self.close_and_join();
+        let mut leftover = Vec::new();
+        while let Ok(s) = self.results.try_recv() {
+            leftover.push(s);
+        }
+        leftover
+    }
+
+    fn close_and_join(&mut self) {
+        for shard in &mut self.shards {
+            shard.queue = None; // disconnects the worker's receiver
+            shard.pause.set(false); // a paused worker must wake to drain
+        }
+        for shard in &mut self.shards {
+            if let Some(worker) = shard.worker.take() {
+                worker.join().expect("worker thread panicked");
+            }
+        }
+    }
+}
+
+impl Drop for ShardPool {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}
+
+fn worker_loop(
+    rx: Receiver<Session>,
+    results: mpsc::Sender<Session>,
+    depth: Arc<AtomicU64>,
+    pause: Arc<PauseGate>,
+    metrics: Arc<Metrics>,
+    cache_capacity: usize,
+) {
+    let mut worker = WorkerArray::new(cache_capacity, Arc::clone(&metrics));
+    let mut heap: BinaryHeap<QueuedSession> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut open = true;
+    loop {
+        pause.wait_ready();
+        loop {
+            match rx.try_recv() {
+                Ok(session) => {
+                    depth.fetch_sub(1, Ordering::Relaxed);
+                    seq += 1;
+                    heap.push(QueuedSession {
+                        deadline: session.deadline(),
+                        seq,
+                        session,
+                    });
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    open = false;
+                    break;
+                }
+            }
+        }
+        let Some(queued) = heap.pop() else {
+            if !open {
+                return; // queue closed and drained: clean exit
+            }
+            match rx.recv() {
+                Ok(session) => {
+                    depth.fetch_sub(1, Ordering::Relaxed);
+                    seq += 1;
+                    heap.push(QueuedSession {
+                        deadline: session.deadline(),
+                        seq,
+                        session,
+                    });
+                }
+                Err(_) => open = false,
+            }
+            continue;
+        };
+        let mut session = queued.session;
+        session.step(&mut worker);
+        Metrics::incr(&metrics.jobs_run);
+        // The engine side may already be gone (pool dropped mid-run);
+        // the session's work is still done, only the hand-back is lost.
+        let _ = results.send(session);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdr_ofdm::xpp_map::{demodulator_netlist, preamble_detector_netlist};
+    use sdr_wcdma::xpp_map::descrambler_netlist;
+
+    #[test]
+    fn activation_tiers_resident_then_cached() {
+        let metrics = Arc::new(Metrics::new());
+        let mut w = WorkerArray::new(4, Arc::clone(&metrics));
+        let a = w.activate("fig5-descrambler", descrambler_netlist).unwrap();
+        let b = w.activate("fig5-descrambler", descrambler_netlist).unwrap();
+        assert_eq!(a, b, "resident activation returns the same handle");
+        assert_eq!(w.cache().misses(), 1, "one build");
+        let snap = metrics.snapshot();
+        assert_eq!((snap.cache_hits, snap.cache_misses), (1, 1));
+        assert!(snap.config_bus_cycles > 0, "the load paid bus cycles");
+    }
+
+    #[test]
+    fn swap_counts_a_reconfiguration_and_reuses_cached_netlists() {
+        let metrics = Arc::new(Metrics::new());
+        let mut w = WorkerArray::new(4, Arc::clone(&metrics));
+        w.activate("fig10-config2a-detector", preamble_detector_netlist)
+            .unwrap();
+        w.swap(
+            "fig10-config2a-detector",
+            "fig10-config2b-demodulator",
+            demodulator_netlist,
+        )
+        .unwrap();
+        assert!(!w.is_resident("fig10-config2a-detector"));
+        assert!(w.is_resident("fig10-config2b-demodulator"));
+        // Swapping back: the detector netlist comes from the cache.
+        w.swap(
+            "fig10-config2b-demodulator",
+            "fig10-config2a-detector",
+            preamble_detector_netlist,
+        )
+        .unwrap();
+        assert_eq!(metrics.snapshot().reconfigurations, 2);
+        assert_eq!(w.cache().misses(), 2, "each netlist built exactly once");
+        assert_eq!(w.cache().hits(), 1, "re-activation served from the cache");
+    }
+
+    #[test]
+    fn swap_without_resident_source_still_activates() {
+        let metrics = Arc::new(Metrics::new());
+        let mut w = WorkerArray::new(4, Arc::clone(&metrics));
+        w.swap("not-loaded", "fig5-descrambler", descrambler_netlist)
+            .unwrap();
+        assert!(w.is_resident("fig5-descrambler"));
+        assert_eq!(
+            metrics.snapshot().reconfigurations,
+            0,
+            "nothing was unloaded"
+        );
+    }
+}

@@ -1,0 +1,613 @@
+//! Per-terminal session state machines.
+//!
+//! A [`Session`] is one simulated terminal working through its standard's
+//! acquisition pipeline in deadline-scheduled steps. Each step is a
+//! bounded unit of work a worker executes on its own array:
+//!
+//! * **W-CDMA** (paper §3.1): `Idle` (air capture) → `Searching` (path
+//!   search on the DSP) → `Tracking` (descramble and despread on the
+//!   array, combine and decide) → `Done`.
+//! * **802.11a OFDM** (paper §3.2/Fig. 10): `Idle` → `PreambleDetect`
+//!   (configuration 2a on the array) → `Demod` (2a unloaded, 2b loaded
+//!   in its place, slicing on the array, Viterbi decode) → `Done`.
+//!
+//! Every array-mapped stage is cross-checked against its golden software
+//! model; a divergence fails the session rather than silently returning
+//! wrong bits, so cross-session state pollution on a shared array is
+//! caught immediately.
+
+use sdr_dsp::fft::Fft64Fixed;
+use sdr_dsp::rng::Rng64;
+use sdr_dsp::Cplx;
+use sdr_ofdm as ofdm;
+use sdr_wcdma as wcdma;
+use xpp_array::{Result as XppResult, Word};
+
+use crate::metrics::{KernelKind, Metrics};
+use crate::pool::WorkerArray;
+
+use ofdm::params::{data_subcarriers, rate, subcarrier_to_bin, RateParams, CP_LEN};
+use ofdm::rx::OfdmReceiver;
+use wcdma::rake::combiner::decide;
+use wcdma::rake::estimator::{estimate_channel, quantize_weights};
+use wcdma::rake::finger::{correct, descramble, despread};
+use wcdma::rake::searcher::PathSearcher;
+use wcdma::tx::{CellConfig, CellTransmitter};
+use wcdma::ScramblingCode;
+
+/// W-CDMA slot period in array cycles (666.7 µs at the paper's 50 MHz).
+pub const WCDMA_PERIOD_CYCLES: u64 = 33_333;
+/// Estimated array cycles per W-CDMA session step (admission control).
+pub const WCDMA_JOB_CYCLES: u64 = 3_000;
+/// OFDM frame-processing period in array cycles (400 µs at 50 MHz).
+pub const OFDM_PERIOD_CYCLES: u64 = 20_000;
+/// Estimated array cycles per OFDM session step (admission control).
+pub const OFDM_JOB_CYCLES: u64 = 2_500;
+
+/// Which standard a session runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Standard {
+    /// W-CDMA rake terminal.
+    Wcdma,
+    /// 802.11a OFDM terminal.
+    Ofdm,
+}
+
+/// The per-terminal state machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionState {
+    /// Nothing captured yet; the next step records the air interface.
+    Idle,
+    /// W-CDMA: multipath search ahead.
+    Searching,
+    /// OFDM: short-preamble correlation (configuration 2a) ahead.
+    PreambleDetect,
+    /// W-CDMA: finger demodulation on the array ahead.
+    Tracking,
+    /// OFDM: 2a→2b swap and demodulation ahead.
+    Demod,
+    /// Payload verified against the transmitted bits.
+    Done,
+    /// The pipeline failed; the reason is attached.
+    Failed(String),
+}
+
+impl SessionState {
+    /// True once the session needs no further steps.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, SessionState::Done | SessionState::Failed(_))
+    }
+}
+
+#[derive(Debug)]
+enum Kind {
+    Wcdma(WcdmaTerminal),
+    Ofdm(OfdmTerminal),
+}
+
+/// One terminal session, schedulable on any worker of its shard.
+#[derive(Debug)]
+pub struct Session {
+    id: u64,
+    deadline: u64,
+    period: u64,
+    state: SessionState,
+    kind: Kind,
+}
+
+impl Session {
+    /// Creates a W-CDMA terminal session.
+    pub fn wcdma(id: u64, seed: u64) -> Self {
+        Session {
+            id,
+            deadline: WCDMA_PERIOD_CYCLES + id,
+            period: WCDMA_PERIOD_CYCLES,
+            state: SessionState::Idle,
+            kind: Kind::Wcdma(WcdmaTerminal::new(seed)),
+        }
+    }
+
+    /// Creates an 802.11a OFDM terminal session.
+    pub fn ofdm(id: u64, seed: u64) -> Self {
+        Session {
+            id,
+            deadline: OFDM_PERIOD_CYCLES + id,
+            period: OFDM_PERIOD_CYCLES,
+            state: SessionState::Idle,
+            kind: Kind::Ofdm(OfdmTerminal::new(seed)),
+        }
+    }
+
+    /// The session id (also its shard-affinity key).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The standard this terminal runs.
+    pub fn standard(&self) -> Standard {
+        match self.kind {
+            Kind::Wcdma(_) => Standard::Wcdma,
+            Kind::Ofdm(_) => Standard::Ofdm,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> &SessionState {
+        &self.state
+    }
+
+    /// True once no further steps are needed.
+    pub fn is_terminal(&self) -> bool {
+        self.state.is_terminal()
+    }
+
+    /// Deadline (in array cycles) of the session's next step — the
+    /// worker-heap EDF key.
+    pub fn deadline(&self) -> u64 {
+        self.deadline
+    }
+
+    /// The session as an admission-control job for
+    /// [`sdr_core::scheduler::schedule_edf`].
+    pub fn scheduler_job(&self) -> sdr_core::scheduler::Job {
+        let (name, cycles) = match self.standard() {
+            Standard::Wcdma => (format!("wcdma-{}", self.id), WCDMA_JOB_CYCLES),
+            Standard::Ofdm => (format!("ofdm-{}", self.id), OFDM_JOB_CYCLES),
+        };
+        sdr_core::scheduler::Job::new(name, cycles, self.period)
+    }
+
+    /// Runs one step of the state machine on a worker's array. Terminal
+    /// states are recorded in the worker's metrics; stepping a terminal
+    /// session is a no-op.
+    pub fn step(&mut self, worker: &mut WorkerArray) {
+        if self.state.is_terminal() {
+            return;
+        }
+        let outcome = match &mut self.kind {
+            Kind::Wcdma(t) => t.step(&self.state, worker),
+            Kind::Ofdm(t) => t.step(&self.state, worker),
+        };
+        self.deadline += self.period;
+        self.state = match outcome {
+            Ok(next) => next,
+            Err(e) => SessionState::Failed(format!("array error: {e}")),
+        };
+        match &self.state {
+            SessionState::Done => Metrics::incr(&worker.metrics().sessions_completed),
+            SessionState::Failed(_) => Metrics::incr(&worker.metrics().sessions_failed),
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// W-CDMA terminal
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct WcdmaTerminal {
+    seed: u64,
+    cell: CellConfig,
+    bits: Vec<u8>,
+    true_delay: usize,
+    rx: Vec<Cplx<i32>>,
+    found_delay: usize,
+}
+
+impl WcdmaTerminal {
+    fn new(seed: u64) -> Self {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let bits: Vec<u8> = (0..32).map(|_| (rng.next_u32() & 1) as u8).collect();
+        WcdmaTerminal {
+            seed,
+            cell: CellConfig::default(),
+            bits,
+            true_delay: 4 + (seed % 8) as usize,
+            rx: Vec::new(),
+            found_delay: 0,
+        }
+    }
+
+    fn step(&mut self, state: &SessionState, worker: &mut WorkerArray) -> XppResult<SessionState> {
+        match state {
+            SessionState::Idle => Ok(self.capture()),
+            SessionState::Searching => Ok(self.search()),
+            SessionState::Tracking => self.demodulate(worker),
+            other => Ok(SessionState::Failed(format!(
+                "wcdma session cannot step from {other:?}"
+            ))),
+        }
+    }
+
+    /// Simulates the air interface: transmit, propagate over a single-path
+    /// channel with light noise, digitize.
+    fn capture(&mut self) -> SessionState {
+        use wcdma::channel::{propagate, AdcConfig, CellLink, Path};
+        let mut tx = CellTransmitter::new(self.cell);
+        let signal = tx.transmit(&self.bits);
+        let link = CellLink::new(vec![Path::new(self.true_delay, Cplx::new(0.8, 0.2))]);
+        self.rx = propagate(
+            &[(signal, link)],
+            0.02,
+            self.seed ^ 0x5EED,
+            AdcConfig::default(),
+        );
+        SessionState::Searching
+    }
+
+    /// CPICH path search (DSP-side in the paper's partitioning).
+    fn search(&mut self) -> SessionState {
+        let code = ScramblingCode::downlink(self.cell.scrambling_code);
+        let hits = PathSearcher::default().search(&self.rx, &code);
+        match hits.first() {
+            Some(hit) if hit.delay == self.true_delay => {
+                self.found_delay = hit.delay;
+                SessionState::Tracking
+            }
+            Some(hit) => SessionState::Failed(format!(
+                "path search found delay {} instead of {}",
+                hit.delay, self.true_delay
+            )),
+            None => SessionState::Failed("path search found no paths".into()),
+        }
+    }
+
+    /// One finger on the array: descramble (Fig. 5) and despread (Fig. 6)
+    /// on cached configurations, then estimate/correct/decide on the DSP.
+    fn demodulate(&mut self, worker: &mut WorkerArray) -> XppResult<SessionState> {
+        let code = ScramblingCode::downlink(self.cell.scrambling_code);
+        let delay = self.found_delay;
+        let sf = self.cell.dpch.sf;
+        let n = ((self.rx.len() - delay) / sf) * sf;
+
+        let descrambled = run_descrambler(worker, &self.rx, &code, delay, n)?;
+        if descrambled != descramble(&self.rx, &code, delay, 0, n) {
+            return Ok(SessionState::Failed(
+                "array descrambler diverged from golden".into(),
+            ));
+        }
+        let symbols = run_despreader(worker, &descrambled, sf, self.cell.dpch.code_index)?;
+        if symbols != despread(&descrambled, sf, self.cell.dpch.code_index) {
+            return Ok(SessionState::Failed(
+                "array despreader diverged from golden".into(),
+            ));
+        }
+
+        let h = estimate_channel(&self.rx, &code, delay, 8);
+        let w = quantize_weights(&[h])[0];
+        let corrected = correct(&symbols, w);
+        let soft: Vec<Cplx<i64>> = corrected.iter().map(|s| s.widen()).collect();
+        let decided = decide(&soft);
+        if decided.len() >= self.bits.len() && decided[..self.bits.len()] == self.bits[..] {
+            Ok(SessionState::Done)
+        } else {
+            Ok(SessionState::Failed(
+                "decided bits differ from transmitted".into(),
+            ))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// OFDM terminal
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct OfdmTerminal {
+    bits: Vec<u8>,
+    rate: RateParams,
+    leading_gap: usize,
+    seed: u64,
+    rx: Vec<Cplx<i32>>,
+    coarse: usize,
+}
+
+impl OfdmTerminal {
+    fn new(seed: u64) -> Self {
+        let mut rng = Rng64::seed_from_u64(seed ^ 0x0FD3);
+        let bits: Vec<u8> = (0..96).map(|_| (rng.next_u32() & 1) as u8).collect();
+        OfdmTerminal {
+            bits,
+            rate: rate(12).expect("12 Mb/s is a standard rate"),
+            leading_gap: 64 + (seed % 48) as usize,
+            seed,
+            rx: Vec::new(),
+            coarse: 0,
+        }
+    }
+
+    fn step(&mut self, state: &SessionState, worker: &mut WorkerArray) -> XppResult<SessionState> {
+        match state {
+            SessionState::Idle => Ok(self.capture()),
+            SessionState::PreambleDetect => self.detect(worker),
+            SessionState::Demod => self.demodulate(worker),
+            other => Ok(SessionState::Failed(format!(
+                "ofdm session cannot step from {other:?}"
+            ))),
+        }
+    }
+
+    fn capture(&mut self) -> SessionState {
+        use ofdm::channel::WlanChannel;
+        let frame = ofdm::tx::Transmitter::new(self.rate).transmit(&self.bits);
+        let channel = WlanChannel {
+            leading_gap: self.leading_gap,
+            seed: self.seed,
+            ..WlanChannel::default()
+        };
+        self.rx = channel.run(&frame.samples);
+        SessionState::PreambleDetect
+    }
+
+    /// Configuration 2a on the worker's array; the streamed metric must be
+    /// bit-exact with the golden autocorrelation.
+    fn detect(&mut self, worker: &mut WorkerArray) -> XppResult<SessionState> {
+        let metric = run_preamble_detector(worker, &self.rx)?;
+        if metric != ofdm::rx::autocorr_metric(&self.rx) {
+            return Ok(SessionState::Failed(
+                "array preamble metric diverged from golden".into(),
+            ));
+        }
+        match OfdmReceiver::new(self.rate).detect(&self.rx) {
+            Some(coarse) => {
+                self.coarse = coarse;
+                Ok(SessionState::Demod)
+            }
+            None => Ok(SessionState::Failed("no preamble plateau found".into())),
+        }
+    }
+
+    /// The Fig. 10 swap (2a out, 2b in), slicing of the first data symbol
+    /// through 2b, and full golden decode of the payload.
+    fn demodulate(&mut self, worker: &mut WorkerArray) -> XppResult<SessionState> {
+        let cfg2b = worker.swap(
+            "fig10-config2a-detector",
+            "fig10-config2b-demodulator",
+            ofdm::xpp_map::demodulator_netlist,
+        )?;
+
+        let sync = OfdmReceiver::new(self.rate);
+        let Some(long_start) = sync.fine_timing(&self.rx, self.coarse) else {
+            return Ok(SessionState::Failed("fine timing failed".into()));
+        };
+        let at = long_start + 2 * 64 + CP_LEN;
+        if at + 64 > self.rx.len() {
+            return Ok(SessionState::Failed(
+                "frame truncated before first data symbol".into(),
+            ));
+        }
+        let mut window = [Cplx::<i32>::ZERO; 64];
+        window.copy_from_slice(&self.rx[at..at + 64]);
+        let spectrum = Fft64Fixed::with_stage_shift(1).run(&window);
+        let carriers: Vec<Cplx<i32>> = data_subcarriers()
+            .iter()
+            .map(|&k| spectrum[subcarrier_to_bin(k)])
+            .collect();
+        let weights = vec![Cplx::new(512, 0); carriers.len()];
+        let slices = run_demodulator(worker, cfg2b, &carriers, &weights)?;
+        for (k, (b0, b1)) in slices.iter().enumerate() {
+            if *b0 != (carriers[k].re < 0) as u8 || *b1 != (carriers[k].im < 0) as u8 {
+                return Ok(SessionState::Failed(format!(
+                    "2b slicer diverged from spectrum sign at carrier {k}"
+                )));
+            }
+        }
+
+        match sync.receive(&self.rx, self.bits.len()) {
+            Ok(out) if out.bits == self.bits => Ok(SessionState::Done),
+            Ok(_) => Ok(SessionState::Failed(
+                "decoded payload differs from transmitted".into(),
+            )),
+            Err(e) => Ok(SessionState::Failed(format!("receiver error: {e}"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Array drive helpers (cached-configuration counterparts of the
+// one-array-per-kernel wrappers in `sdr_wcdma::xpp_map` / `sdr_ofdm::xpp_map`)
+// ---------------------------------------------------------------------------
+
+fn split_iq(samples: &[Cplx<i32>]) -> (Vec<Word>, Vec<Word>) {
+    let i = samples.iter().map(|c| Word::new(c.re)).collect();
+    let q = samples.iter().map(|c| Word::new(c.im)).collect();
+    (i, q)
+}
+
+fn zip_iq(i: &[Word], q: &[Word]) -> Vec<Cplx<i32>> {
+    i.iter()
+        .zip(q)
+        .map(|(a, b)| Cplx::new(a.value(), b.value()))
+        .collect()
+}
+
+fn run_descrambler(
+    worker: &mut WorkerArray,
+    rx: &[Cplx<i32>],
+    code: &ScramblingCode,
+    delay: usize,
+    n: usize,
+) -> XppResult<Vec<Cplx<i32>>> {
+    let cfg = worker.activate("fig5-descrambler", wcdma::xpp_map::descrambler_netlist)?;
+    let before = worker.array().stats().cycles;
+    let (i, q) = split_iq(&rx[delay..delay + n]);
+    let bits: Vec<(u8, u8)> = (0..n).map(|k| code.chip_bits(k)).collect();
+    let array = worker.array_mut();
+    array.push_input(cfg, "i_in", i)?;
+    array.push_input(cfg, "q_in", q)?;
+    array.push_input(cfg, "ci", bits.iter().map(|b| Word::new(b.0 as i32)))?;
+    array.push_input(cfg, "cq", bits.iter().map(|b| Word::new(b.1 as i32)))?;
+    array.run_until_output(cfg, "i_out", n, 16 * n as u64 + 1_000)?;
+    array.run_until_idle(1_000)?;
+    let i_out = array.drain_output(cfg, "i_out")?;
+    let q_out = array.drain_output(cfg, "q_out")?;
+    let cycles = worker.array().stats().cycles - before;
+    worker
+        .metrics()
+        .record_kernel(KernelKind::Descrambler, cycles);
+    Ok(zip_iq(&i_out, &q_out))
+}
+
+fn run_despreader(
+    worker: &mut WorkerArray,
+    chips: &[Cplx<i32>],
+    sf: usize,
+    code_index: usize,
+) -> XppResult<Vec<Cplx<i32>>> {
+    // The netlist name (and thus the cache key) carries only the spreading
+    // factor: every engine session uses the default cell's OVSF code, so
+    // one cached despreader serves them all.
+    let name = format!("fig6-despreader-sf{sf}");
+    let cfg = worker.activate(&name, || {
+        wcdma::xpp_map::despreader_single_netlist(sf, code_index)
+    })?;
+    let before = worker.array().stats().cycles;
+    let n_sym = chips.len() / sf;
+    let (i, q) = split_iq(&chips[..n_sym * sf]);
+    let array = worker.array_mut();
+    array.push_input(cfg, "i_in", i)?;
+    array.push_input(cfg, "q_in", q)?;
+    array.run_until_output(cfg, "i_out", n_sym, 16 * chips.len() as u64 + 2_000)?;
+    array.run_until_idle(2_000)?;
+    let i_out = array.drain_output(cfg, "i_out")?;
+    let q_out = array.drain_output(cfg, "q_out")?;
+    let cycles = worker.array().stats().cycles - before;
+    worker
+        .metrics()
+        .record_kernel(KernelKind::Despreader, cycles);
+    Ok(zip_iq(&i_out, &q_out))
+}
+
+fn run_preamble_detector(worker: &mut WorkerArray, rx: &[Cplx<i32>]) -> XppResult<Vec<i32>> {
+    use ofdm::rx::{AUTOCORR_LAG, AUTOCORR_WINDOW};
+    let cfg = worker.activate(
+        "fig10-config2a-detector",
+        ofdm::xpp_map::preamble_detector_netlist,
+    )?;
+    let before = worker.array().stats().cycles;
+    // A resident detector keeps the previous terminal's tail in its delay
+    // lines and running sum. Streaming lag+window zero samples (idle air)
+    // drains that history exactly — the window sum of 32 zero products is
+    // zero — so every session sees the golden zero-history metric.
+    let flush = AUTOCORR_LAG + AUTOCORR_WINDOW;
+    let n = rx.len();
+    let (i, q) = split_iq(rx);
+    let array = worker.array_mut();
+    array.push_input(cfg, "i_in", std::iter::repeat_n(Word::ZERO, flush).chain(i))?;
+    array.push_input(cfg, "q_in", std::iter::repeat_n(Word::ZERO, flush).chain(q))?;
+    let expect = flush + n;
+    array.run_until_output(cfg, "metric", expect, 20 * expect as u64 + 5_000)?;
+    array.run_until_idle(5_000)?;
+    let metric = array.drain_output(cfg, "metric")?;
+    let cycles = worker.array().stats().cycles - before;
+    worker
+        .metrics()
+        .record_kernel(KernelKind::PreambleDetector, cycles);
+    Ok(metric.iter().skip(flush).map(|w| w.value()).collect())
+}
+
+fn run_demodulator(
+    worker: &mut WorkerArray,
+    cfg: xpp_array::ConfigId,
+    carriers: &[Cplx<i32>],
+    weights: &[Cplx<i32>],
+) -> XppResult<Vec<(u8, u8)>> {
+    assert_eq!(carriers.len(), weights.len(), "one weight per carrier");
+    let before = worker.array().stats().cycles;
+    let n = carriers.len();
+    let (i, q) = split_iq(carriers);
+    let (wi, wq) = split_iq(weights);
+    let array = worker.array_mut();
+    array.push_input(cfg, "i_in", i)?;
+    array.push_input(cfg, "q_in", q)?;
+    array.push_input(cfg, "wi", wi)?;
+    array.push_input(cfg, "wq", wq)?;
+    array.run_until_output(cfg, "b0", n, 20 * n as u64 + 5_000)?;
+    array.run_until_idle(5_000)?;
+    let b0 = array.drain_output(cfg, "b0")?;
+    let b1 = array.drain_output(cfg, "b1")?;
+    let cycles = worker.array().stats().cycles - before;
+    worker
+        .metrics()
+        .record_kernel(KernelKind::Demodulator, cycles);
+    Ok(b0
+        .iter()
+        .zip(&b1)
+        .map(|(a, b)| (a.value() as u8, b.value() as u8))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+    use std::sync::Arc;
+
+    fn drive_to_terminal(session: &mut Session, worker: &mut WorkerArray) {
+        for _ in 0..8 {
+            if session.is_terminal() {
+                return;
+            }
+            session.step(worker);
+        }
+        panic!(
+            "session did not terminate within 8 steps: {:?}",
+            session.state()
+        );
+    }
+
+    #[test]
+    fn wcdma_session_walks_to_done() {
+        let metrics = Arc::new(Metrics::new());
+        let mut worker = WorkerArray::new(8, Arc::clone(&metrics));
+        let mut s = Session::wcdma(0, 42);
+        assert_eq!(*s.state(), SessionState::Idle);
+        s.step(&mut worker);
+        assert_eq!(*s.state(), SessionState::Searching);
+        s.step(&mut worker);
+        assert_eq!(*s.state(), SessionState::Tracking);
+        s.step(&mut worker);
+        assert_eq!(*s.state(), SessionState::Done);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.sessions_completed, 1);
+        assert!(snap.kernel_jobs[KernelKind::Descrambler.index()] == 1);
+        assert!(snap.kernel_cycles[KernelKind::Despreader.index()] > 0);
+    }
+
+    #[test]
+    fn ofdm_session_walks_to_done_with_a_swap() {
+        let metrics = Arc::new(Metrics::new());
+        let mut worker = WorkerArray::new(8, Arc::clone(&metrics));
+        let mut s = Session::ofdm(1, 7);
+        drive_to_terminal(&mut s, &mut worker);
+        assert_eq!(*s.state(), SessionState::Done, "session failed");
+        let snap = metrics.snapshot();
+        assert_eq!(snap.reconfigurations, 1, "the 2a→2b swap happened");
+        assert!(snap.kernel_jobs[KernelKind::PreambleDetector.index()] == 1);
+        assert!(snap.kernel_jobs[KernelKind::Demodulator.index()] == 1);
+    }
+
+    #[test]
+    fn deadlines_advance_by_the_period() {
+        let metrics = Arc::new(Metrics::new());
+        let mut worker = WorkerArray::new(8, metrics);
+        let mut s = Session::wcdma(3, 1);
+        let d0 = s.deadline();
+        s.step(&mut worker);
+        assert_eq!(s.deadline(), d0 + WCDMA_PERIOD_CYCLES);
+    }
+
+    #[test]
+    fn stepping_a_terminal_session_is_a_noop() {
+        let metrics = Arc::new(Metrics::new());
+        let mut worker = WorkerArray::new(8, Arc::clone(&metrics));
+        let mut s = Session::ofdm(1, 7);
+        drive_to_terminal(&mut s, &mut worker);
+        let jobs = metrics.snapshot().jobs_run; // pool-level counter: unchanged here
+        s.step(&mut worker);
+        assert_eq!(*s.state(), SessionState::Done);
+        assert_eq!(metrics.snapshot().jobs_run, jobs);
+        assert_eq!(metrics.snapshot().sessions_completed, 1, "not recounted");
+    }
+}

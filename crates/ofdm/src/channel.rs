@@ -43,13 +43,20 @@ impl Default for WlanChannel {
 impl WlanChannel {
     /// An AWGN-only channel at the given noise level.
     pub fn awgn(sigma: f64, seed: u64) -> Self {
-        WlanChannel { noise_sigma: sigma, seed, ..Default::default() }
+        WlanChannel {
+            noise_sigma: sigma,
+            seed,
+            ..Default::default()
+        }
     }
 
     /// Adds a two-path profile with the echo at `delay` samples and relative
     /// complex gain `echo`.
     pub fn with_echo(mut self, delay: usize, echo: Cplx<f64>) -> Self {
-        assert!(delay >= 1 && delay < 16, "echo must fall inside the guard interval");
+        assert!(
+            (1..16).contains(&delay),
+            "echo must fall inside the guard interval"
+        );
         if self.taps.len() <= delay {
             self.taps.resize(delay + 1, Cplx::<f64>::ZERO);
         }
@@ -90,7 +97,10 @@ mod tests {
 
     #[test]
     fn clean_channel_delays_by_gap() {
-        let ch = WlanChannel { leading_gap: 10, ..Default::default() };
+        let ch = WlanChannel {
+            leading_gap: 10,
+            ..Default::default()
+        };
         let tx = vec![Cplx::new(1.0, -1.0); 4];
         let rx = ch.run(&tx);
         assert_eq!(rx[9], Cplx::new(0, 0));
@@ -99,8 +109,11 @@ mod tests {
 
     #[test]
     fn echo_superposes() {
-        let ch = WlanChannel { leading_gap: 0, ..Default::default() }
-            .with_echo(3, Cplx::new(0.5, 0.0));
+        let ch = WlanChannel {
+            leading_gap: 0,
+            ..Default::default()
+        }
+        .with_echo(3, Cplx::new(0.5, 0.0));
         let tx = vec![Cplx::new(1.0, 0.0)];
         let rx = ch.run(&tx);
         assert_eq!(rx[0], Cplx::new(128, 0));
@@ -109,7 +122,11 @@ mod tests {
 
     #[test]
     fn adc_clips_at_10_bits() {
-        let ch = WlanChannel { adc_gain: 10_000.0, leading_gap: 0, ..Default::default() };
+        let ch = WlanChannel {
+            adc_gain: 10_000.0,
+            leading_gap: 0,
+            ..Default::default()
+        };
         let rx = ch.run(&[Cplx::new(1.0, -1.0)]);
         assert_eq!(rx[0], Cplx::new(511, -512));
     }

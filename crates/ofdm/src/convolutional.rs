@@ -107,14 +107,17 @@ pub fn depuncture(llrs: &[i32], rate: CodeRate) -> Vec<i32> {
 ///
 /// Panics if the LLR count is odd.
 pub fn viterbi_decode(llrs: &[i32]) -> Vec<u8> {
-    assert!(llrs.len() % 2 == 0, "viterbi: LLR count must be even");
+    assert!(
+        llrs.len().is_multiple_of(2),
+        "viterbi: LLR count must be even"
+    );
     let steps = llrs.len() / 2;
     const NEG: i64 = i64::MIN / 4;
     let mut metric = [NEG; STATES];
     metric[0] = 0; // encoder starts zeroed
-    // decisions[t] bit ns = the *top bit of the winning predecessor* of
-    // state ns at step t. The input bit itself needs no storage: a successor
-    // state is `ns = ((prev << 1) | input) & 63`, so `input = ns & 1`.
+                   // decisions[t] bit ns = the *top bit of the winning predecessor* of
+                   // state ns at step t. The input bit itself needs no storage: a successor
+                   // state is `ns = ((prev << 1) | input) & 63`, so `input = ns & 1`.
     let mut decisions: Vec<u64> = Vec::with_capacity(steps);
 
     // Precompute branch outputs per successor state and predecessor-top bit.
@@ -137,14 +140,12 @@ pub fn viterbi_decode(llrs: &[i32]) -> Vec<u8> {
         let mut next = [NEG; STATES];
         let mut decide = 0u64;
         for ns in 0..STATES {
-            for top in 0..2usize {
+            for (top, &(a_bit, b_bit)) in outputs[ns].iter().enumerate() {
                 let prev = (ns >> 1) | (top << 5);
                 if metric[prev] == NEG {
                     continue;
                 }
-                let (a_bit, b_bit) = outputs[ns][top];
-                let gain = if a_bit == 0 { la } else { -la }
-                    + if b_bit == 0 { lb } else { -lb };
+                let gain = if a_bit == 0 { la } else { -la } + if b_bit == 0 { lb } else { -lb };
                 let cand = metric[prev] + gain;
                 if cand > next[ns] {
                     next[ns] = cand;
@@ -252,8 +253,10 @@ mod tests {
         let mut data = bits.clone();
         data.extend_from_slice(&[0; 6]);
         let coded = encode(&data);
-        let mut llrs: Vec<i32> =
-            coded.iter().map(|&b| if b == 0 { 100 } else { -100 }).collect();
+        let mut llrs: Vec<i32> = coded
+            .iter()
+            .map(|&b| if b == 0 { 100 } else { -100 })
+            .collect();
         // Weakly wrong bits.
         llrs[10] = if coded[10] == 0 { -1 } else { 1 };
         llrs[11] = if coded[11] == 0 { -1 } else { 1 };
@@ -263,11 +266,11 @@ mod tests {
 
     #[test]
     fn depuncture_restores_length() {
-        let llrs: Vec<i32> = (0..18).map(|i| i as i32 + 1).collect();
+        let llrs: Vec<i32> = (0..18).map(|i| i + 1).collect();
         let r23 = depuncture(&llrs, CodeRate::R23);
         assert_eq!(r23.len(), 24);
         assert_eq!(r23.iter().filter(|&&l| l == 0).count(), 6);
-        let llrs: Vec<i32> = (0..16).map(|i| i as i32 + 1).collect();
+        let llrs: Vec<i32> = (0..16).map(|i| i + 1).collect();
         let r34 = depuncture(&llrs, CodeRate::R34);
         assert_eq!(r34.len(), 24);
         assert_eq!(r34.iter().filter(|&&l| l == 0).count(), 8);

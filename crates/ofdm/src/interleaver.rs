@@ -22,7 +22,11 @@ fn interleave_position(k: usize, n_cbps: usize, n_bpsc: usize) -> usize {
 pub fn interleave(bits: &[u8], modulation: Modulation) -> Vec<u8> {
     let n_bpsc = modulation.bits_per_carrier();
     let n_cbps = 48 * n_bpsc;
-    assert_eq!(bits.len(), n_cbps, "interleave: exactly one symbol required");
+    assert_eq!(
+        bits.len(),
+        n_cbps,
+        "interleave: exactly one symbol required"
+    );
     let mut out = vec![0u8; n_cbps];
     for (k, &b) in bits.iter().enumerate() {
         out[interleave_position(k, n_cbps, n_bpsc)] = b;
@@ -38,7 +42,11 @@ pub fn interleave(bits: &[u8], modulation: Modulation) -> Vec<u8> {
 pub fn deinterleave<T: Copy + Default>(values: &[T], modulation: Modulation) -> Vec<T> {
     let n_bpsc = modulation.bits_per_carrier();
     let n_cbps = 48 * n_bpsc;
-    assert_eq!(values.len(), n_cbps, "deinterleave: exactly one symbol required");
+    assert_eq!(
+        values.len(),
+        n_cbps,
+        "deinterleave: exactly one symbol required"
+    );
     let mut out = vec![T::default(); n_cbps];
     for k in 0..n_cbps {
         out[k] = values[interleave_position(k, n_cbps, n_bpsc)];
@@ -56,7 +64,12 @@ mod tests {
 
     #[test]
     fn roundtrip_all_modulations() {
-        for m in [Modulation::Bpsk, Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64] {
+        for m in [
+            Modulation::Bpsk,
+            Modulation::Qpsk,
+            Modulation::Qam16,
+            Modulation::Qam64,
+        ] {
             let n = 48 * m.bits_per_carrier();
             let input = bits(n);
             let inter = interleave(&input, m);
@@ -67,7 +80,12 @@ mod tests {
 
     #[test]
     fn permutation_is_bijective() {
-        for m in [Modulation::Bpsk, Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64] {
+        for m in [
+            Modulation::Bpsk,
+            Modulation::Qpsk,
+            Modulation::Qam16,
+            Modulation::Qam64,
+        ] {
             let n_bpsc = m.bits_per_carrier();
             let n = 48 * n_bpsc;
             let mut seen = vec![false; n];

@@ -53,15 +53,9 @@ pub fn map_symbol(bits: &[u8], modulation: Modulation) -> Cplx<f64> {
     let k = k_mod(modulation);
     match modulation {
         Modulation::Bpsk => Cplx::new(axis_level(&bits[..1]) * k, 0.0),
-        Modulation::Qpsk => {
-            Cplx::new(axis_level(&bits[..1]) * k, axis_level(&bits[1..2]) * k)
-        }
-        Modulation::Qam16 => {
-            Cplx::new(axis_level(&bits[..2]) * k, axis_level(&bits[2..4]) * k)
-        }
-        Modulation::Qam64 => {
-            Cplx::new(axis_level(&bits[..3]) * k, axis_level(&bits[3..6]) * k)
-        }
+        Modulation::Qpsk => Cplx::new(axis_level(&bits[..1]) * k, axis_level(&bits[1..2]) * k),
+        Modulation::Qam16 => Cplx::new(axis_level(&bits[..2]) * k, axis_level(&bits[2..4]) * k),
+        Modulation::Qam64 => Cplx::new(axis_level(&bits[..3]) * k, axis_level(&bits[3..6]) * k),
     }
 }
 
@@ -73,7 +67,7 @@ pub fn map_symbol(bits: &[u8], modulation: Modulation) -> Cplx<f64> {
 /// Panics if the bit count is not a multiple of the modulation's bits.
 pub fn map_bits(bits: &[u8], modulation: Modulation) -> Vec<Cplx<f64>> {
     let n = modulation.bits_per_carrier();
-    assert!(bits.len() % n == 0, "map_bits: partial symbol");
+    assert!(bits.len().is_multiple_of(n), "map_bits: partial symbol");
     bits.chunks(n).map(|c| map_symbol(c, modulation)).collect()
 }
 
@@ -147,7 +141,12 @@ mod tests {
 
     #[test]
     fn constellations_have_unit_average_energy() {
-        for m in [Modulation::Bpsk, Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64] {
+        for m in [
+            Modulation::Bpsk,
+            Modulation::Qpsk,
+            Modulation::Qam16,
+            Modulation::Qam64,
+        ] {
             let pats = all_bit_patterns(m.bits_per_carrier());
             let e: f64 =
                 pats.iter().map(|p| map_symbol(p, m).sqmag()).sum::<f64>() / pats.len() as f64;
@@ -157,7 +156,12 @@ mod tests {
 
     #[test]
     fn hard_demap_inverts_map_for_all_patterns() {
-        for m in [Modulation::Bpsk, Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64] {
+        for m in [
+            Modulation::Bpsk,
+            Modulation::Qpsk,
+            Modulation::Qam16,
+            Modulation::Qam64,
+        ] {
             for p in all_bit_patterns(m.bits_per_carrier()) {
                 let y = map_symbol(&p, m);
                 assert_eq!(demap_hard(y, m), p, "{m:?} {p:?}");
@@ -199,11 +203,7 @@ mod tests {
     fn noisier_points_give_weaker_llrs() {
         let m = Modulation::Qpsk;
         let clean = demap_soft(map_symbol(&[1, 1], m), m, 32.0);
-        let noisy = demap_soft(
-            map_symbol(&[1, 1], m) + Cplx::new(-0.5, -0.5),
-            m,
-            32.0,
-        );
+        let noisy = demap_soft(map_symbol(&[1, 1], m) + Cplx::new(-0.5, -0.5), m, 32.0);
         assert!(noisy[0].abs() < clean[0].abs());
     }
 

@@ -96,14 +96,46 @@ impl RateParams {
 
 /// The eight 802.11a rate points, 6–54 Mbit/s.
 pub const RATES: [RateParams; 8] = [
-    RateParams { mbps: 6, modulation: Modulation::Bpsk, code_rate: CodeRate::R12 },
-    RateParams { mbps: 9, modulation: Modulation::Bpsk, code_rate: CodeRate::R34 },
-    RateParams { mbps: 12, modulation: Modulation::Qpsk, code_rate: CodeRate::R12 },
-    RateParams { mbps: 18, modulation: Modulation::Qpsk, code_rate: CodeRate::R34 },
-    RateParams { mbps: 24, modulation: Modulation::Qam16, code_rate: CodeRate::R12 },
-    RateParams { mbps: 36, modulation: Modulation::Qam16, code_rate: CodeRate::R34 },
-    RateParams { mbps: 48, modulation: Modulation::Qam64, code_rate: CodeRate::R23 },
-    RateParams { mbps: 54, modulation: Modulation::Qam64, code_rate: CodeRate::R34 },
+    RateParams {
+        mbps: 6,
+        modulation: Modulation::Bpsk,
+        code_rate: CodeRate::R12,
+    },
+    RateParams {
+        mbps: 9,
+        modulation: Modulation::Bpsk,
+        code_rate: CodeRate::R34,
+    },
+    RateParams {
+        mbps: 12,
+        modulation: Modulation::Qpsk,
+        code_rate: CodeRate::R12,
+    },
+    RateParams {
+        mbps: 18,
+        modulation: Modulation::Qpsk,
+        code_rate: CodeRate::R34,
+    },
+    RateParams {
+        mbps: 24,
+        modulation: Modulation::Qam16,
+        code_rate: CodeRate::R12,
+    },
+    RateParams {
+        mbps: 36,
+        modulation: Modulation::Qam16,
+        code_rate: CodeRate::R34,
+    },
+    RateParams {
+        mbps: 48,
+        modulation: Modulation::Qam64,
+        code_rate: CodeRate::R23,
+    },
+    RateParams {
+        mbps: 54,
+        modulation: Modulation::Qam64,
+        code_rate: CodeRate::R34,
+    },
 ];
 
 /// Looks up a rate point by its Mbit/s value.

@@ -40,7 +40,8 @@ pub fn short_sequence() -> Vec<(i32, Cplx<f64>)> {
 /// The frequency-domain long training sequence `L_{−26..26}` (±1, 0 at DC).
 pub fn long_sequence() -> [i32; 53] {
     [
-        1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, 1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, //
+        1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, 1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1,
+        1, //
         0, //
         1, -1, -1, 1, 1, -1, 1, -1, 1, -1, -1, -1, -1, -1, 1, 1, -1, -1, 1, -1, 1, -1, 1, 1, 1, 1,
     ]
@@ -51,7 +52,10 @@ pub fn long_sequence() -> [i32; 53] {
 pub const TIME_SCALE: f64 = 8.0;
 
 fn time_symbol_from_bins(bins: &[Cplx<f64>; FFT_LEN]) -> Vec<Cplx<f64>> {
-    ifft(bins).iter().map(|v| Cplx::new(v.re * TIME_SCALE, v.im * TIME_SCALE)).collect()
+    ifft(bins)
+        .iter()
+        .map(|v| Cplx::new(v.re * TIME_SCALE, v.im * TIME_SCALE))
+        .collect()
 }
 
 /// The 64-sample IDFT of the short sequence (16-periodic in time).
@@ -101,7 +105,10 @@ mod tests {
         let s = short_training_field();
         assert_eq!(s.len(), SHORT_LEN);
         for n in 0..SHORT_LEN - SHORT_PERIOD {
-            assert!((s[n] - s[n + SHORT_PERIOD]).mag() < 1e-9, "period break at {n}");
+            assert!(
+                (s[n] - s[n + SHORT_PERIOD]).mag() < 1e-9,
+                "period break at {n}"
+            );
         }
     }
 
@@ -143,7 +150,11 @@ mod tests {
     fn preamble_power_is_comparable_to_unit_symbols() {
         // Average sample power of both fields should be near 1 (the data
         // symbols have unit average subcarrier energy on 52 carriers).
-        let sp: f64 = short_training_field().iter().map(|v| v.sqmag()).sum::<f64>() / 160.0;
+        let sp: f64 = short_training_field()
+            .iter()
+            .map(|v| v.sqmag())
+            .sum::<f64>()
+            / 160.0;
         let lp: f64 = long_training_field().iter().map(|v| v.sqmag()).sum::<f64>() / 160.0;
         assert!(sp > 0.3 && sp < 3.0, "short power {sp}");
         assert!(lp > 0.3 && lp < 3.0, "long power {lp}");

@@ -15,9 +15,7 @@
 use crate::convolutional::{depuncture, viterbi_decode};
 use crate::interleaver::deinterleave;
 use crate::modulation::demap_soft;
-use crate::params::{
-    data_subcarriers, subcarrier_to_bin, RateParams, CP_LEN, FFT_LEN, SYMBOL_LEN,
-};
+use crate::params::{data_subcarriers, subcarrier_to_bin, RateParams, CP_LEN, FFT_LEN, SYMBOL_LEN};
 use crate::preamble::long_symbol_64;
 use crate::scrambler::Scrambler;
 use crate::tx::{DEFAULT_SCRAMBLER_SEED, SERVICE_BITS, TAIL_BITS};
@@ -99,7 +97,10 @@ impl fmt::Display for RxError {
             RxError::TimingFailed => write!(f, "long-preamble timing failed"),
             RxError::SignalDecodeFailed => write!(f, "SIGNAL field did not decode"),
             RxError::BufferTooShort { needed, available } => {
-                write!(f, "buffer too short: need {needed} samples, have {available}")
+                write!(
+                    f,
+                    "buffer too short: need {needed} samples, have {available}"
+                )
             }
         }
     }
@@ -212,10 +213,7 @@ impl OfdmReceiver {
             return None;
         }
         let corr = cross_correlate(&samples[lo..hi], &template, 8);
-        let (peak_at, _) = corr
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, v)| v.sqmag())?;
+        let (peak_at, _) = corr.iter().enumerate().max_by_key(|(_, v)| v.sqmag())?;
         // The long field has two repetitions 64 samples apart; figure out
         // whether the strongest peak is the first or the second.
         let mag = |k: i64| -> i64 {
@@ -270,14 +268,19 @@ impl OfdmReceiver {
     /// Returns an [`RxError`] if detection, timing or buffer length fails.
     pub fn receive(&self, samples: &[Cplx<i32>], psdu_bits: usize) -> Result<RxOutput, RxError> {
         let coarse = self.detect(samples).ok_or(RxError::NoPreamble)?;
-        let long_start = self.fine_timing(samples, coarse).ok_or(RxError::TimingFailed)?;
+        let long_start = self
+            .fine_timing(samples, coarse)
+            .ok_or(RxError::TimingFailed)?;
         let data_start = long_start + 2 * FFT_LEN + self.leading_symbols * SYMBOL_LEN;
 
         let ndbps = self.rate.data_bits_per_symbol();
         let n_sym = (SERVICE_BITS + psdu_bits + TAIL_BITS).div_ceil(ndbps);
         let needed = data_start + n_sym * SYMBOL_LEN;
         if samples.len() < needed {
-            return Err(RxError::BufferTooShort { needed, available: samples.len() });
+            return Err(RxError::BufferTooShort {
+                needed,
+                available: samples.len(),
+            });
         }
 
         let channel = self.estimate_channel(samples, long_start);
@@ -294,7 +297,11 @@ impl OfdmReceiver {
                 let bin = subcarrier_to_bin(k);
                 let h = channel[bin];
                 let y = spectrum[bin].to_f64();
-                let eq = if h.sqmag() > 1e-9 { y.div(h) } else { Cplx::<f64>::ZERO };
+                let eq = if h.sqmag() > 1e-9 {
+                    y.div(h)
+                } else {
+                    Cplx::<f64>::ZERO
+                };
                 sym_llrs.extend(demap_soft(eq, self.rate.modulation, self.llr_scale));
             }
             llrs.extend(deinterleave(&sym_llrs, self.rate.modulation));
@@ -304,7 +311,12 @@ impl OfdmReceiver {
         let mut descrambled = decoded;
         Scrambler::new(self.scrambler_seed).scramble_in_place(&mut descrambled);
         let bits = descrambled[SERVICE_BITS..SERVICE_BITS + psdu_bits].to_vec();
-        Ok(RxOutput { bits, long_start, data_start, channel })
+        Ok(RxOutput {
+            bits,
+            long_start,
+            data_start,
+            channel,
+        })
     }
 }
 
@@ -319,13 +331,18 @@ pub fn receive_auto(samples: &[Cplx<i32>]) -> Result<(RxOutput, RateParams), RxE
     // Use any rate for the sync stages; they do not depend on it.
     let probe = OfdmReceiver::new(crate::params::RATES[0]);
     let coarse = probe.detect(samples).ok_or(RxError::NoPreamble)?;
-    let long_start = probe.fine_timing(samples, coarse).ok_or(RxError::TimingFailed)?;
+    let long_start = probe
+        .fine_timing(samples, coarse)
+        .ok_or(RxError::TimingFailed)?;
     let channel = probe.estimate_channel(samples, long_start);
 
     // Equalise the SIGNAL symbol (the first after the long training field).
     let at = long_start + 2 * FFT_LEN + CP_LEN;
     if samples.len() < at + FFT_LEN {
-        return Err(RxError::BufferTooShort { needed: at + FFT_LEN, available: samples.len() });
+        return Err(RxError::BufferTooShort {
+            needed: at + FFT_LEN,
+            available: samples.len(),
+        });
     }
     let fft = Fft64Fixed::with_stage_shift(1);
     let mut buf = [Cplx::<i32>::ZERO; 64];
@@ -343,8 +360,7 @@ pub fn receive_auto(samples: &[Cplx<i32>]) -> Result<(RxOutput, RateParams), RxE
             }
         })
         .collect();
-    let (r, octets) =
-        crate::signal_field::decode_signal(&eq).ok_or(RxError::SignalDecodeFailed)?;
+    let (r, octets) = crate::signal_field::decode_signal(&eq).ok_or(RxError::SignalDecodeFailed)?;
 
     let receiver = OfdmReceiver::new(r).with_leading_symbols(1);
     let out = receiver.receive(samples, octets * 8)?;
@@ -381,11 +397,14 @@ mod tests {
     fn detect_and_fine_timing_locate_the_frame() {
         let tx = Transmitter::new(rate(12).unwrap());
         let frame = tx.transmit(&psdu(96));
-        let ch = WlanChannel { leading_gap: 137, ..Default::default() };
+        let ch = WlanChannel {
+            leading_gap: 137,
+            ..Default::default()
+        };
         let rx_samples = ch.run(&frame.samples);
         let receiver = OfdmReceiver::new(rate(12).unwrap());
         let coarse = receiver.detect(&rx_samples).unwrap();
-        assert!(coarse >= 137 && coarse < 137 + 160, "coarse {coarse}");
+        assert!((137..137 + 160).contains(&coarse), "coarse {coarse}");
         let long_start = receiver.fine_timing(&rx_samples, coarse).unwrap();
         // Long field starts at gap+160; its first symbol at gap+160+32.
         assert_eq!(long_start, 137 + 160 + 32);

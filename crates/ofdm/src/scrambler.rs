@@ -31,10 +31,15 @@ impl Scrambler {
     ///
     /// Panics if the seed is zero or wider than 7 bits.
     pub fn new(seed: u32) -> Self {
-        assert!(seed != 0 && seed < 128, "scrambler seed must be 7 bits, non-zero");
+        assert!(
+            seed != 0 && seed < 128,
+            "scrambler seed must be 7 bits, non-zero"
+        );
         // Fibonacci form: output/feedback = x⁷ ⊕ x⁴; state bit i holds the
         // value that leaves the register in i steps.
-        Scrambler { lfsr: Lfsr::new(7, (1 << 3) | 1, seed) }
+        Scrambler {
+            lfsr: Lfsr::new(7, (1 << 3) | 1, seed),
+        }
     }
 
     /// The next sequence bit.

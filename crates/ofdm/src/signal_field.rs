@@ -47,7 +47,10 @@ fn rate_from_bits(bits: &[u8]) -> Option<RateParams> {
 /// Panics if the rate is not a standard rate point or the length exceeds
 /// 4095 octets.
 pub fn signal_bits(r: RateParams, length_octets: usize) -> [u8; SIGNAL_BITS] {
-    assert!(length_octets <= MAX_LENGTH_OCTETS, "LENGTH field is 12 bits");
+    assert!(
+        length_octets <= MAX_LENGTH_OCTETS,
+        "LENGTH field is 12 bits"
+    );
     let rb = rate_bits(r.mbps).expect("standard rate point");
     let mut bits = [0u8; SIGNAL_BITS];
     bits[..4].copy_from_slice(&rb);

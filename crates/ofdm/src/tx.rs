@@ -93,7 +93,11 @@ pub struct Transmitter {
 impl Transmitter {
     /// Creates a transmitter for one rate point.
     pub fn new(rate: RateParams) -> Self {
-        Transmitter { rate, scrambler_seed: DEFAULT_SCRAMBLER_SEED, signal_field: false }
+        Transmitter {
+            rate,
+            scrambler_seed: DEFAULT_SCRAMBLER_SEED,
+            signal_field: false,
+        }
     }
 
     /// Overrides the scrambler seed.
@@ -143,7 +147,10 @@ impl Transmitter {
         samples.extend(short_training_field());
         samples.extend(long_training_field());
         if self.signal_field {
-            assert!(psdu.len() % 8 == 0, "SIGNAL's LENGTH field counts octets");
+            assert!(
+                psdu.len().is_multiple_of(8),
+                "SIGNAL's LENGTH field counts octets"
+            );
             let octets = psdu.len() / 8;
             let points = crate::signal_field::signal_points(self.rate, octets);
             // The SIGNAL symbol uses pilot polarity p0.
@@ -157,7 +164,11 @@ impl Transmitter {
             let p = polarity[(s + 1) % polarity.len()];
             samples.extend(modulate_symbol(&points, p));
         }
-        TxFrame { samples, data_symbols: n_sym, psdu_bits: psdu.len() }
+        TxFrame {
+            samples,
+            data_symbols: n_sym,
+            psdu_bits: psdu.len(),
+        }
     }
 }
 
@@ -169,7 +180,7 @@ mod tests {
     #[test]
     fn frame_length_matches_symbol_count() {
         let tx = Transmitter::new(rate(6).unwrap());
-        let frame = tx.transmit(&vec![0u8; 100]);
+        let frame = tx.transmit(&[0u8; 100]);
         // 6 Mb/s: 24 data bits/symbol; (16+100+6)/24 → 6 symbols.
         assert_eq!(frame.data_symbols, 6);
         assert_eq!(frame.samples.len(), 320 + 6 * 80);
@@ -198,8 +209,8 @@ mod tests {
         let tx = Transmitter::new(rate(54).unwrap());
         let bits: Vec<u8> = (0..432).map(|i| ((i * 11 + 2) % 2) as u8).collect();
         let frame = tx.transmit(&bits);
-        let p: f64 = frame.samples.iter().map(|v| v.sqmag()).sum::<f64>()
-            / frame.samples.len() as f64;
+        let p: f64 =
+            frame.samples.iter().map(|v| v.sqmag()).sum::<f64>() / frame.samples.len() as f64;
         assert!(p > 0.3 && p < 3.0, "avg power {p}");
     }
 

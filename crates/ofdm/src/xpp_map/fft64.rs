@@ -26,10 +26,9 @@ use crate::xpp_map::{split_iq, zip_iq};
 use sdr_dsp::fft::{digit_reversed_index_64, twiddle_q, TWIDDLE_FRAC_BITS};
 use sdr_dsp::Cplx;
 use xpp_array::{
-    AluOp, Array, ConfigId, CounterCfg, DataOut, Netlist, NetlistBuilder, UnaryOp, Result,
-    Word, WORD_MIN,
+    AluOp, Array, ConfigId, CounterCfg, DataOut, Netlist, NetlistBuilder, Result, UnaryOp, Word,
+    WORD_MIN,
 };
-
 
 /// Butterfly read/write address sequence for the three in-place passes, in
 /// the exact order [`Fft64Fixed`] visits them.
@@ -104,7 +103,12 @@ pub(crate) fn build_fft64(
     // the two must strictly alternate). One initial go token admits the
     // first frame.
     let in_pace = nl.counter(CounterCfg::modulo(64));
-    let in_credit = nl.counter(CounterCfg { start: 0, step: 1, period: 64, gated: true });
+    let in_credit = nl.counter(CounterCfg {
+        start: 0,
+        step: 1,
+        period: 64,
+        gated: true,
+    });
     nl.wire_ev_with(
         in_pace.wrap,
         in_credit.go.expect("gated counter has a go port"),
@@ -123,7 +127,7 @@ pub(crate) fn build_fft64(
     let wr_addr = nl.ring_fifo(words(wr_addr_seq));
 
     let mut wr_sel_seq = vec![1i32; 64]; // 1 = load from input
-    wr_sel_seq.extend(std::iter::repeat(0).take(192));
+    wr_sel_seq.extend(std::iter::repeat_n(0, 192));
     let wr_sel_words = nl.ring_fifo(words(wr_sel_seq));
     let wr_sel = nl.to_event(wr_sel_words);
 
@@ -132,7 +136,7 @@ pub(crate) fn build_fft64(
     let rd_addr_ring = nl.ring_fifo(words(rd_addr_seq));
 
     let mut rd_sel_seq = vec![0i32; 192]; // 0 = butterfly, 1 = unload
-    rd_sel_seq.extend(std::iter::repeat(1).take(64));
+    rd_sel_seq.extend(std::iter::repeat_n(1, 64));
     let rd_sel_words = nl.ring_fifo(words(rd_sel_seq));
     let rd_sel = nl.to_event(rd_sel_words);
 
@@ -155,7 +159,12 @@ pub(crate) fn build_fft64(
     // Read credits: every 64th write wraps the pace counter, whose event
     // releases a burst of 64 read addresses.
     let pace = nl.counter(CounterCfg::modulo(64));
-    let credit = nl.counter(CounterCfg { start: 0, step: 1, period: 64, gated: true });
+    let credit = nl.counter(CounterCfg {
+        start: 0,
+        step: 1,
+        period: 64,
+        gated: true,
+    });
     nl.wire_ev(pace.wrap, credit.go.expect("gated counter has a go port"));
     let credit_true = nl.unary(UnaryOp::GeK(Word::new(WORD_MIN)), credit.value);
     let credit_ev = nl.to_event(credit_true);
@@ -215,10 +224,10 @@ pub(crate) fn build_fft64(
 
     // Twiddle complex multiply, bit-exact with `cmul_twiddle` + stage shift.
     let cmul = |nl: &mut NetlistBuilder,
-                    vr: DataOut,
-                    vi: DataOut,
-                    wr: DataOut,
-                    wi: DataOut|
+                vr: DataOut,
+                vi: DataOut,
+                wr: DataOut,
+                wi: DataOut|
      -> (DataOut, DataOut) {
         let p1 = nl.alu(AluOp::Mul, vr, wr);
         let p2 = nl.alu(AluOp::Mul, vi, wi);
@@ -301,7 +310,11 @@ impl ArrayFft64 {
     pub fn new(stage_shift: u32) -> Result<Self> {
         let mut array = Array::xpp64a();
         let cfg = array.configure(&fft64_netlist(stage_shift))?;
-        Ok(ArrayFft64 { array, cfg, stage_shift })
+        Ok(ArrayFft64 {
+            array,
+            cfg,
+            stage_shift,
+        })
     }
 
     /// The configured per-stage shift.
@@ -337,7 +350,8 @@ impl ArrayFft64 {
         self.array.push_input(self.cfg, "q_in", q_all)?;
         let expect = frames.len() * 64;
         let budget = 3_000 * frames.len() as u64 + 10_000;
-        self.array.run_until_output(self.cfg, "i_out", expect, budget)?;
+        self.array
+            .run_until_output(self.cfg, "i_out", expect, budget)?;
         self.array.run_until_idle(10_000)?;
         let i_out = self.array.drain_output(self.cfg, "i_out")?;
         let q_out = self.array.drain_output(self.cfg, "q_out")?;

@@ -25,7 +25,7 @@ use crate::rx::{AUTOCORR_LAG, AUTOCORR_PROD_SHIFT, AUTOCORR_WINDOW};
 use crate::xpp_map::{split_iq, zip_iq};
 use sdr_dsp::Cplx;
 use xpp_array::{
-    AluOp, Array, ConfigId, CounterCfg, Netlist, NetlistBuilder, ResourceCounts, UnaryOp, Result,
+    AluOp, Array, ConfigId, CounterCfg, Netlist, NetlistBuilder, ResourceCounts, Result, UnaryOp,
     Word,
 };
 
@@ -88,7 +88,14 @@ pub fn frontend_netlist(stage_shift: u32) -> Netlist {
     // The FFT block: replicate fft64_netlist's structure by instantiating
     // it as a sub-netlist is not supported; instead the scenario keeps the
     // FFT as part of this configuration by construction below.
-    crate::xpp_map::fft64::build_fft64(&mut nl, stage_shift, "fft_i_in", "fft_q_in", "fft_i_out", "fft_q_out");
+    crate::xpp_map::fft64::build_fft64(
+        &mut nl,
+        stage_shift,
+        "fft_i_in",
+        "fft_q_in",
+        "fft_i_out",
+        "fft_q_out",
+    );
     nl.build().expect("config1 netlist is well formed")
 }
 
@@ -199,7 +206,13 @@ impl ReconfigurableFrontend {
         let cfg2a = array.configure(&preamble_detector_netlist())?;
         array.connect(cfg1, "ds_i", cfg2a, "i_in")?;
         array.connect(cfg1, "ds_q", cfg2a, "q_in")?;
-        let mut fe = ReconfigurableFrontend { array, cfg1, cfg2a: Some(cfg2a), cfg2b: None, log: Vec::new() };
+        let mut fe = ReconfigurableFrontend {
+            array,
+            cfg1,
+            cfg2a: Some(cfg2a),
+            cfg2b: None,
+            log: Vec::new(),
+        };
         fe.log("loaded config 1 (downsampler + FFT64) and 2a (preamble detector)");
         Ok(fe)
     }
@@ -246,7 +259,8 @@ impl ReconfigurableFrontend {
         self.array.push_input(self.cfg1, "q_in", q)?;
         let expect = oversampled.len() / 2;
         let budget = 20 * oversampled.len() as u64 + 10_000;
-        self.array.run_until_output(cfg2a, "metric", expect, budget)?;
+        self.array
+            .run_until_output(cfg2a, "metric", expect, budget)?;
         self.array.run_until_idle(10_000)?;
         Ok(self
             .array
@@ -287,7 +301,8 @@ impl ReconfigurableFrontend {
         let (i, q) = split_iq(frame);
         self.array.push_input(self.cfg1, "fft_i_in", i)?;
         self.array.push_input(self.cfg1, "fft_q_in", q)?;
-        self.array.run_until_output(self.cfg1, "fft_i_out", 64, 20_000)?;
+        self.array
+            .run_until_output(self.cfg1, "fft_i_out", 64, 20_000)?;
         self.array.run_until_idle(10_000)?;
         let i_out = self.array.drain_output(self.cfg1, "fft_i_out")?;
         let q_out = self.array.drain_output(self.cfg1, "fft_q_out")?;
@@ -317,7 +332,8 @@ impl ReconfigurableFrontend {
         self.array.push_input(cfg2b, "wi", wi)?;
         self.array.push_input(cfg2b, "wq", wq)?;
         let budget = 20 * symbols.len() as u64 + 5_000;
-        self.array.run_until_output(cfg2b, "b0", symbols.len(), budget)?;
+        self.array
+            .run_until_output(cfg2b, "b0", symbols.len(), budget)?;
         self.array.run_until_idle(5_000)?;
         let b0 = self.array.drain_output(cfg2b, "b0")?;
         let b1 = self.array.drain_output(cfg2b, "b1")?;
@@ -338,7 +354,10 @@ mod tests {
     fn samples(n: usize, seed: i32) -> Vec<Cplx<i32>> {
         (0..n as i32)
             .map(|i| {
-                Cplx::new(((i * 37 + seed * 11) % 1023) - 511, ((i * 73 + seed * 5) % 1023) - 511)
+                Cplx::new(
+                    ((i * 37 + seed * 11) % 1023) - 511,
+                    ((i * 73 + seed * 5) % 1023) - 511,
+                )
             })
             .collect()
     }

@@ -23,5 +23,8 @@ pub(crate) fn split_iq(samples: &[Cplx<i32>]) -> (Vec<Word>, Vec<Word>) {
 /// Zips parallel I and Q word streams back into complex samples.
 pub(crate) fn zip_iq(i: &[Word], q: &[Word]) -> Vec<Cplx<i32>> {
     assert_eq!(i.len(), q.len(), "I/Q stream length mismatch");
-    i.iter().zip(q).map(|(a, b)| Cplx::new(a.value(), b.value())).collect()
+    i.iter()
+        .zip(q)
+        .map(|(a, b)| Cplx::new(a.value(), b.value()))
+        .collect()
 }

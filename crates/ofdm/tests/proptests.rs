@@ -5,10 +5,10 @@ use sdr_dsp::Cplx;
 use sdr_ofdm::convolutional::{depuncture, encode, puncture, viterbi_decode};
 use sdr_ofdm::interleaver::{deinterleave, interleave};
 use sdr_ofdm::modulation::{demap_hard, map_bits, map_symbol};
+use sdr_ofdm::params::RATES;
 use sdr_ofdm::params::{CodeRate, Modulation};
 use sdr_ofdm::scrambler::Scrambler;
-use sdr_ofdm::signal_field::{parse_signal_bits, signal_bits, signal_points, decode_signal};
-use sdr_ofdm::params::RATES;
+use sdr_ofdm::signal_field::{decode_signal, parse_signal_bits, signal_bits, signal_points};
 
 fn arb_bits(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<u8>> {
     proptest::collection::vec(0u8..=1, n)

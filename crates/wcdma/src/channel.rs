@@ -38,12 +38,18 @@ pub struct CellLink {
 impl CellLink {
     /// A single-antenna link with the given paths.
     pub fn new(paths: Vec<Path>) -> Self {
-        CellLink { paths_ant1: paths, paths_ant2: Vec::new() }
+        CellLink {
+            paths_ant1: paths,
+            paths_ant2: Vec::new(),
+        }
     }
 
     /// A transmit-diversity link (independent paths per antenna).
     pub fn with_diversity(ant1: Vec<Path>, ant2: Vec<Path>) -> Self {
-        CellLink { paths_ant1: ant1, paths_ant2: ant2 }
+        CellLink {
+            paths_ant1: ant1,
+            paths_ant2: ant2,
+        }
     }
 
     /// The largest delay of any path.
@@ -68,7 +74,10 @@ pub struct AdcConfig {
 
 impl Default for AdcConfig {
     fn default() -> Self {
-        AdcConfig { gain: 512.0, bits: 12 }
+        AdcConfig {
+            gain: 512.0,
+            bits: 12,
+        }
     }
 }
 
@@ -138,7 +147,10 @@ mod tests {
     fn impulse_signal(len: usize, at: usize) -> TxSignal {
         let mut chips = vec![Cplx::<f64>::ZERO; len];
         chips[at] = Cplx::new(1.0, -1.0);
-        TxSignal { ant1: chips, ant2: None }
+        TxSignal {
+            ant1: chips,
+            ant2: None,
+        }
     }
 
     #[test]

@@ -31,7 +31,10 @@ pub const MAX_SF: usize = 512;
 /// assert_eq!(ovsf(4, 2), vec![1, -1, 1, -1]);
 /// ```
 pub fn ovsf(sf: usize, k: usize) -> Vec<i32> {
-    assert!(sf.is_power_of_two() && sf >= 1 && sf <= MAX_SF, "invalid spreading factor {sf}");
+    assert!(
+        sf.is_power_of_two() && (1..=MAX_SF).contains(&sf),
+        "invalid spreading factor {sf}"
+    );
     assert!(k < sf, "code index {k} out of range for SF {sf}");
     let mut code = vec![1i32];
     // Iterative form of the recursion: bit (level) of k, from the most
@@ -109,7 +112,10 @@ mod tests {
             assert_eq!(&even[..4], &parent[..]);
             assert_eq!(&even[4..], &parent[..]);
             assert_eq!(&odd[..4], &parent[..]);
-            assert_eq!(odd[4..].to_vec(), parent.iter().map(|c| -c).collect::<Vec<_>>());
+            assert_eq!(
+                odd[4..].to_vec(),
+                parent.iter().map(|c| -c).collect::<Vec<_>>()
+            );
         }
     }
 

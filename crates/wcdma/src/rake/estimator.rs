@@ -9,7 +9,7 @@
 
 use crate::rake::finger::{descramble, despread, WEIGHT_MAX};
 use crate::scrambling::ScramblingCode;
-use crate::symbols::{CPICH_SYMBOL, cpich_antenna2};
+use crate::symbols::{cpich_antenna2, CPICH_SYMBOL};
 use crate::tx::CPICH_SF;
 use sdr_dsp::Cplx;
 
@@ -32,7 +32,10 @@ pub fn estimate_channel(
     n_symbols: usize,
 ) -> Cplx<f64> {
     let n_chips = n_symbols * CPICH_SF;
-    assert!(delay + n_chips <= rx.len(), "estimate_channel: buffer too short");
+    assert!(
+        delay + n_chips <= rx.len(),
+        "estimate_channel: buffer too short"
+    );
     let descrambled = descramble(rx, code, delay, 0, n_chips);
     let pilots = despread(&descrambled, CPICH_SF, 0);
     let mut acc = Cplx::<f64>::ZERO;
@@ -56,9 +59,15 @@ pub fn estimate_channel_sttd(
     delay: usize,
     n_symbols: usize,
 ) -> (Cplx<f64>, Cplx<f64>) {
-    assert!(n_symbols % 2 == 0, "STTD estimation needs an even symbol count");
+    assert!(
+        n_symbols.is_multiple_of(2),
+        "STTD estimation needs an even symbol count"
+    );
     let n_chips = n_symbols * CPICH_SF;
-    assert!(delay + n_chips <= rx.len(), "estimate_channel_sttd: buffer too short");
+    assert!(
+        delay + n_chips <= rx.len(),
+        "estimate_channel_sttd: buffer too short"
+    );
     let descrambled = descramble(rx, code, delay, 0, n_chips);
     let pilots = despread(&descrambled, CPICH_SF, 0);
     let mut h1 = Cplx::<f64>::ZERO;
@@ -112,14 +121,21 @@ mod tests {
     use crate::channel::{propagate, AdcConfig, CellLink, Path};
     use crate::tx::{CellConfig, CellTransmitter};
 
-    fn pilot_frame(cfg: CellConfig, link: CellLink, sigma: f64) -> (Vec<Cplx<i32>>, ScramblingCode) {
+    fn pilot_frame(
+        cfg: CellConfig,
+        link: CellLink,
+        sigma: f64,
+    ) -> (Vec<Cplx<i32>>, ScramblingCode) {
         let mut tx = CellTransmitter::new(cfg);
         // 8 CPICH symbols worth of chips: 2048 chips → DPCH bits as needed.
         let bits_needed = 2 * 2048 / cfg.dpch.sf;
         let bits: Vec<u8> = (0..bits_needed).map(|i| (i % 2) as u8).collect();
         let signal = tx.transmit(&bits);
         let code = tx.scrambling_code().clone();
-        (propagate(&[(signal, link)], sigma, 99, AdcConfig::default()), code)
+        (
+            propagate(&[(signal, link)], sigma, 99, AdcConfig::default()),
+            code,
+        )
     }
 
     #[test]
@@ -130,7 +146,10 @@ mod tests {
         let h = estimate_channel(&rx, &code, 0, 8);
         // h should be parallel to gain: normalised dot product ≈ 1.
         let dot = (h * gain.conj()).re / (h.mag() * gain.mag());
-        assert!(dot > 0.99, "direction mismatch: {h:?} vs {gain:?} (dot {dot})");
+        assert!(
+            dot > 0.99,
+            "direction mismatch: {h:?} vs {gain:?} (dot {dot})"
+        );
     }
 
     #[test]
@@ -141,7 +160,12 @@ mod tests {
         let (rx2, _) = pilot_frame(CellConfig::default(), l2, 0.0);
         let h1 = estimate_channel(&rx1, &code, 0, 8);
         let h2 = estimate_channel(&rx2, &code, 0, 8);
-        assert!((h1.mag() / h2.mag() - 2.0).abs() < 0.1, "{} vs {}", h1.mag(), h2.mag());
+        assert!(
+            (h1.mag() / h2.mag() - 2.0).abs() < 0.1,
+            "{} vs {}",
+            h1.mag(),
+            h2.mag()
+        );
     }
 
     #[test]
@@ -160,10 +184,7 @@ mod tests {
         let g2 = Cplx::new(-0.3, 0.7);
         let mut cfg = CellConfig::default();
         cfg.dpch.sttd = true;
-        let link = CellLink::with_diversity(
-            vec![Path::new(0, g1)],
-            vec![Path::new(0, g2)],
-        );
+        let link = CellLink::with_diversity(vec![Path::new(0, g1)], vec![Path::new(0, g2)]);
         let (rx, code) = pilot_frame(cfg, link, 0.0);
         let (h1, h2) = estimate_channel_sttd(&rx, &code, 0, 8);
         let d1 = (h1 * g1.conj()).re / (h1.mag() * g1.mag());
@@ -174,7 +195,11 @@ mod tests {
 
     #[test]
     fn quantized_weights_preserve_ratios() {
-        let hs = vec![Cplx::new(10.0, 0.0), Cplx::new(5.0, 0.0), Cplx::new(0.0, -2.5)];
+        let hs = vec![
+            Cplx::new(10.0, 0.0),
+            Cplx::new(5.0, 0.0),
+            Cplx::new(0.0, -2.5),
+        ];
         let ws = quantize_weights(&hs);
         assert_eq!(ws[0].re, WEIGHT_MAX);
         assert_eq!(ws[1].re, (WEIGHT_MAX + 1) / 2);

@@ -109,7 +109,10 @@ impl RakeReceiver {
     pub fn new(cell_codes: Vec<u32>, config: RakeConfig) -> Self {
         assert!(!cell_codes.is_empty(), "rake needs at least one cell");
         RakeReceiver {
-            cells: cell_codes.into_iter().map(ScramblingCode::downlink).collect(),
+            cells: cell_codes
+                .into_iter()
+                .map(ScramblingCode::downlink)
+                .collect(),
             config,
         }
     }
@@ -151,7 +154,12 @@ impl RakeReceiver {
                 h1s.push(h1);
                 h2s.push(h2);
             } else {
-                h1s.push(estimate_channel(rx, code, hit.delay, cfg.estimation_symbols));
+                h1s.push(estimate_channel(
+                    rx,
+                    code,
+                    hit.delay,
+                    cfg.estimation_symbols,
+                ));
             }
         }
         // Joint quantisation preserves relative finger weighting. The STTD
@@ -179,8 +187,7 @@ impl RakeReceiver {
                 let w2 = w2s[f];
                 let mut decoded = Vec::with_capacity(symbols.len());
                 for pair in symbols.chunks_exact(2) {
-                    let (s1, s2) =
-                        sttd_decode_fixed(pair[0], pair[1], w1, w2, WEIGHT_FRAC_BITS);
+                    let (s1, s2) = sttd_decode_fixed(pair[0], pair[1], w1, w2, WEIGHT_FRAC_BITS);
                     decoded.push(s1);
                     decoded.push(s2);
                 }
@@ -207,7 +214,11 @@ impl RakeReceiver {
         // 4. Maximal-ratio combining and decision.
         let combined = combine(&corrected_streams);
         let bits = decide(&combined);
-        RakeOutput { bits, fingers: reports, combined }
+        RakeOutput {
+            bits,
+            fingers: reports,
+            combined,
+        }
     }
 }
 
@@ -266,14 +277,26 @@ mod tests {
             vec![(cfg, link.clone())],
             &bits,
             sigma,
-            RakeConfig { searcher: PathSearcher { max_paths: 3, ..Default::default() }, ..Default::default() },
+            RakeConfig {
+                searcher: PathSearcher {
+                    max_paths: 3,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
             42,
         );
         let single = run_link(
             vec![(cfg, link)],
             &bits,
             sigma,
-            RakeConfig { searcher: PathSearcher { max_paths: 1, ..Default::default() }, ..Default::default() },
+            RakeConfig {
+                searcher: PathSearcher {
+                    max_paths: 1,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
             42,
         );
         let mut ber_multi = BerCounter::new();
@@ -292,8 +315,14 @@ mod tests {
     #[test]
     fn soft_handover_two_cells() {
         let bits = test_bits(64);
-        let cell_a = CellConfig { scrambling_code: 0, ..Default::default() };
-        let cell_b = CellConfig { scrambling_code: 32, ..Default::default() };
+        let cell_a = CellConfig {
+            scrambling_code: 0,
+            ..Default::default()
+        };
+        let cell_b = CellConfig {
+            scrambling_code: 32,
+            ..Default::default()
+        };
         let link_a = CellLink::new(vec![Path::new(2, Cplx::new(0.5, 0.2))]);
         let link_b = CellLink::new(vec![Path::new(11, Cplx::new(-0.1, 0.55))]);
         let out = run_link(
@@ -317,7 +346,10 @@ mod tests {
     fn sttd_link_decodes_cleanly() {
         let bits = test_bits(64);
         let cfg = CellConfig {
-            dpch: DpchConfig { sttd: true, ..Default::default() },
+            dpch: DpchConfig {
+                sttd: true,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let link = CellLink::with_diversity(
@@ -328,7 +360,10 @@ mod tests {
             vec![(cfg, link)],
             &bits,
             0.0,
-            RakeConfig { sttd: true, ..Default::default() },
+            RakeConfig {
+                sttd: true,
+                ..Default::default()
+            },
             9,
         );
         assert_eq!(&out.bits[..bits.len()], &bits[..]);
@@ -342,7 +377,13 @@ mod tests {
         let link = CellLink::new(vec![Path::new(0, Cplx::new(0.7, 0.0))]);
         let mut bers = Vec::new();
         for &sigma in &[0.2, 0.9] {
-            let out = run_link(vec![(cfg, link.clone())], &bits, sigma, RakeConfig::default(), 17);
+            let out = run_link(
+                vec![(cfg, link.clone())],
+                &bits,
+                sigma,
+                RakeConfig::default(),
+                17,
+            );
             let mut ber = BerCounter::new();
             ber.update(&bits, &out.bits[..bits.len()]);
             bers.push(ber.ber());

@@ -45,7 +45,12 @@ pub struct PathSearcher {
 
 impl Default for PathSearcher {
     fn default() -> Self {
-        PathSearcher { window: 64, coarse_symbols: 1, fine_symbols: 4, max_paths: 4 }
+        PathSearcher {
+            window: 64,
+            coarse_symbols: 1,
+            fine_symbols: 4,
+            max_paths: 4,
+        }
     }
 }
 
@@ -127,7 +132,9 @@ mod tests {
         let mut tx = CellTransmitter::new(cfg);
         // Enough chips for the search window plus the integration length.
         let n_chips = 3 * 1024;
-        let bits: Vec<u8> = (0..2 * n_chips / cfg.dpch.sf).map(|i| (i % 2) as u8).collect();
+        let bits: Vec<u8> = (0..2 * n_chips / cfg.dpch.sf)
+            .map(|i| (i % 2) as u8)
+            .collect();
         let signal = tx.transmit(&bits);
         let code = tx.scrambling_code().clone();
         let rx = propagate(
@@ -159,7 +166,10 @@ mod tests {
             ],
             0.02,
         );
-        let searcher = PathSearcher { max_paths: 3, ..Default::default() };
+        let searcher = PathSearcher {
+            max_paths: 3,
+            ..Default::default()
+        };
         let hits = searcher.search(&rx, &code);
         assert_eq!(hits.len(), 3);
         assert_eq!(hits[0].delay, 3);
@@ -175,13 +185,19 @@ mod tests {
         let searcher = PathSearcher::default();
         let own_energy = searcher.energy_at(&rx, &ScramblingCode::downlink(0), 5);
         let wrong_energy = searcher.energy_at(&rx, &wrong, 5);
-        assert!(own_energy > 20 * wrong_energy, "{own_energy} vs {wrong_energy}");
+        assert!(
+            own_energy > 20 * wrong_energy,
+            "{own_energy} vs {wrong_energy}"
+        );
     }
 
     #[test]
     fn coarse_scan_covers_window_at_step() {
         let (rx, code) = make_rx(vec![Path::new(0, Cplx::new(1.0, 0.0))], 0.0);
-        let searcher = PathSearcher { window: 32, ..Default::default() };
+        let searcher = PathSearcher {
+            window: 32,
+            ..Default::default()
+        };
         let scan = searcher.coarse_scan(&rx, &code);
         assert_eq!(scan.len(), 32);
         assert!(scan.windows(2).all(|w| w[1].delay == w[0].delay + 1));
@@ -199,7 +215,10 @@ mod tests {
         // A strong path has correlation shoulders at ±1 chip; the 2-chip
         // separation rule must not report them as distinct paths.
         let (rx, code) = make_rx(vec![Path::new(10, Cplx::new(1.0, 0.0))], 0.0);
-        let searcher = PathSearcher { max_paths: 4, ..Default::default() };
+        let searcher = PathSearcher {
+            max_paths: 4,
+            ..Default::default()
+        };
         let hits = searcher.search(&rx, &code);
         for pair in hits.windows(2) {
             assert!(pair[0].delay.abs_diff(pair[1].delay) >= 2);

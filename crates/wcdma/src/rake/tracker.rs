@@ -29,7 +29,12 @@ pub struct TrackedPath {
 impl TrackedPath {
     /// Creates a tracked path at a searcher hit.
     pub fn from_hit(hit: PathHit) -> Self {
-        TrackedPath { delay: hit.delay, energy: hit.energy, votes: 0, alive: true }
+        TrackedPath {
+            delay: hit.delay,
+            energy: hit.energy,
+            votes: 0,
+            alive: true,
+        }
     }
 }
 
@@ -64,7 +69,11 @@ impl PathTracker {
 
     /// Current delays of the live paths.
     pub fn delays(&self) -> Vec<usize> {
-        self.paths.iter().filter(|p| p.alive).map(|p| p.delay).collect()
+        self.paths
+            .iter()
+            .filter(|p| p.alive)
+            .map(|p| p.delay)
+            .collect()
     }
 
     /// Runs one tracking update against a fresh receive buffer (one slot's
@@ -120,13 +129,19 @@ mod tests {
         let signal = tx.transmit(&bits);
         let code = tx.scrambling_code().clone();
         let link = CellLink::new(vec![Path::new(delay, Cplx::new(0.8, 0.2))]);
-        (propagate(&[(signal, link)], 0.03, seed, AdcConfig::default()), code)
+        (
+            propagate(&[(signal, link)], 0.03, seed, AdcConfig::default()),
+            code,
+        )
     }
 
     #[test]
     fn stable_path_stays_locked() {
         let (rx, code) = slot_at_delay(10, 1);
-        let hit = PathHit { delay: 10, energy: 0 };
+        let hit = PathHit {
+            delay: 10,
+            energy: 0,
+        };
         let mut tracker = PathTracker::new(&[hit], PathSearcher::default());
         for seed in 0..4 {
             let (rx2, _) = slot_at_delay(10, seed + 2);
@@ -140,7 +155,10 @@ mod tests {
     #[test]
     fn drifting_path_is_followed_with_hysteresis() {
         let code = ScramblingCode::downlink(0);
-        let hit = PathHit { delay: 10, energy: 0 };
+        let hit = PathHit {
+            delay: 10,
+            energy: 0,
+        };
         let mut tracker = PathTracker::new(&[hit], PathSearcher::default());
         // The channel delay moves 10 → 11 (terminal motion of one chip).
         for seed in 0..2 {
@@ -157,8 +175,13 @@ mod tests {
     #[test]
     fn drift_back_early_is_followed() {
         let code = ScramblingCode::downlink(0);
-        let mut tracker =
-            PathTracker::new(&[PathHit { delay: 12, energy: 0 }], PathSearcher::default());
+        let mut tracker = PathTracker::new(
+            &[PathHit {
+                delay: 12,
+                energy: 0,
+            }],
+            PathSearcher::default(),
+        );
         for seed in 0..2 {
             let (rx, _) = slot_at_delay(11, 60 + seed);
             tracker.update(&rx, &code);
@@ -169,8 +192,13 @@ mod tests {
     #[test]
     fn single_noisy_slot_does_not_move_the_finger() {
         let code = ScramblingCode::downlink(0);
-        let mut tracker =
-            PathTracker::new(&[PathHit { delay: 10, energy: 0 }], PathSearcher::default());
+        let mut tracker = PathTracker::new(
+            &[PathHit {
+                delay: 10,
+                energy: 0,
+            }],
+            PathSearcher::default(),
+        );
         // One slot at 11 (a fade/glitch), then back at 10: hysteresis = 2
         // means no slide happens.
         let (rx, _) = slot_at_delay(11, 70);
@@ -185,7 +213,16 @@ mod tests {
     fn vanished_path_is_marked_lost() {
         let code = ScramblingCode::downlink(0);
         let mut tracker = PathTracker::new(
-            &[PathHit { delay: 10, energy: 0 }, PathHit { delay: 30, energy: 0 }],
+            &[
+                PathHit {
+                    delay: 10,
+                    energy: 0,
+                },
+                PathHit {
+                    delay: 30,
+                    energy: 0,
+                },
+            ],
             PathSearcher::default(),
         );
         // Only the delay-10 path is actually present.

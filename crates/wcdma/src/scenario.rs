@@ -31,7 +31,11 @@ pub struct FingerScenario {
 impl FingerScenario {
     /// Creates a scenario.
     pub fn new(basestations: u32, multipaths: u32, channels: u32) -> Self {
-        FingerScenario { basestations, multipaths, channels }
+        FingerScenario {
+            basestations,
+            multipaths,
+            channels,
+        }
     }
 
     /// Virtual fingers required: one per (base station, multipath, channel).
@@ -115,7 +119,10 @@ mod tests {
         let t = table1_scenarios();
         assert_eq!(t.len(), 36 + 9);
         assert!(t.iter().any(|s| s.fingers() == 18));
-        let full: Vec<_> = t.iter().filter(|s| s.needs_full_rate() && s.feasible()).collect();
+        let full: Vec<_> = t
+            .iter()
+            .filter(|s| s.needs_full_rate() && s.feasible())
+            .collect();
         assert!(!full.is_empty());
     }
 }

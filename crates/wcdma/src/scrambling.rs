@@ -82,7 +82,10 @@ impl ScramblingCode {
     ///
     /// Panics if `number` is not less than `2¹⁸ − 1`.
     pub fn downlink(number: u32) -> Self {
-        assert!((number as usize) < SEQUENCE_LEN, "scrambling code number out of range");
+        assert!(
+            (number as usize) < SEQUENCE_LEN,
+            "scrambling code number out of range"
+        );
         let (x, y) = m_sequences();
         let n = number as usize;
         let mut i_bits = Vec::with_capacity(FRAME_CHIPS);
@@ -94,7 +97,11 @@ impl ScramblingCode {
             i_bits.push(zi);
             q_bits.push(zq);
         }
-        ScramblingCode { number, i_bits, q_bits }
+        ScramblingCode {
+            number,
+            i_bits,
+            q_bits,
+        }
     }
 
     /// The code number.
@@ -177,16 +184,23 @@ mod tests {
             })
             .sum();
         // Cross-correlation of distinct Gold phases is far below n·|chip|²=2n.
-        assert!(corr.abs() < n as i64 / 4, "cross-correlation too high: {corr}");
+        assert!(
+            corr.abs() < n as i64 / 4,
+            "cross-correlation too high: {corr}"
+        );
     }
 
     #[test]
     fn autocorrelation_peaks_at_zero_lag() {
         let code = ScramblingCode::downlink(3);
         let n = 2048;
-        let zero: i64 = (0..n).map(|i| (code.chip(i) * code.chip(i).conj()).re as i64).sum();
+        let zero: i64 = (0..n)
+            .map(|i| (code.chip(i) * code.chip(i).conj()).re as i64)
+            .sum();
         assert_eq!(zero, 2 * n as i64);
-        let lag: i64 = (0..n).map(|i| (code.chip(i) * code.chip(i + 7).conj()).re as i64).sum();
+        let lag: i64 = (0..n)
+            .map(|i| (code.chip(i) * code.chip(i + 7).conj()).re as i64)
+            .sum();
         assert!(lag.abs() < n as i64 / 4);
     }
 

@@ -32,7 +32,10 @@ pub fn qpsk_demap(s: Cplx<i64>) -> (u8, u8) {
 ///
 /// Panics if the bit count is odd.
 pub fn qpsk_map_bits(bits: &[u8]) -> Vec<Cplx<i32>> {
-    assert!(bits.len() % 2 == 0, "QPSK needs an even number of bits");
+    assert!(
+        bits.len().is_multiple_of(2),
+        "QPSK needs an even number of bits"
+    );
     bits.chunks(2).map(|p| qpsk_map(p[0], p[1])).collect()
 }
 
@@ -44,7 +47,7 @@ pub const CPICH_SYMBOL: Cplx<i32> = Cplx::new(1, 1);
 /// antennas' channels.
 #[inline]
 pub fn cpich_antenna2(n: usize) -> Cplx<i32> {
-    if n % 2 == 0 {
+    if n.is_multiple_of(2) {
         CPICH_SYMBOL
     } else {
         -CPICH_SYMBOL
@@ -123,7 +126,10 @@ mod tests {
     #[test]
     fn qpsk_map_bits_pairs() {
         let syms = qpsk_map_bits(&[0, 0, 1, 1, 0, 1]);
-        assert_eq!(syms, vec![Cplx::new(1, 1), Cplx::new(-1, -1), Cplx::new(1, -1)]);
+        assert_eq!(
+            syms,
+            vec![Cplx::new(1, 1), Cplx::new(-1, -1), Cplx::new(1, -1)]
+        );
     }
 
     #[test]
@@ -175,12 +181,7 @@ mod tests {
         let r1 = Cplx::new(1200, -800);
         let r2 = Cplx::new(-500, 950);
         let (d1, d2) = sttd_decode_fixed(r1, r2, w1, w2, 9);
-        let (f1, f2) = sttd_decode(
-            r1.to_f64(),
-            r2.to_f64(),
-            w1.to_f64(),
-            w2.to_f64(),
-        );
+        let (f1, f2) = sttd_decode(r1.to_f64(), r2.to_f64(), w1.to_f64(), w2.to_f64());
         assert!((d1.re as f64 - f1.re / 512.0).abs() <= 1.0);
         assert!((d1.im as f64 - f1.im / 512.0).abs() <= 1.0);
         assert!((d2.re as f64 - f2.re / 512.0).abs() <= 1.0);

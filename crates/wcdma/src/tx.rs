@@ -34,7 +34,12 @@ pub struct DpchConfig {
 
 impl Default for DpchConfig {
     fn default() -> Self {
-        DpchConfig { sf: 128, code_index: 17, amplitude: 1.0, sttd: false }
+        DpchConfig {
+            sf: 128,
+            code_index: 17,
+            amplitude: 1.0,
+            sttd: false,
+        }
     }
 }
 
@@ -51,7 +56,11 @@ pub struct CellConfig {
 
 impl Default for CellConfig {
     fn default() -> Self {
-        CellConfig { scrambling_code: 0, cpich_amplitude: 0.5, dpch: DpchConfig::default() }
+        CellConfig {
+            scrambling_code: 0,
+            cpich_amplitude: 0.5,
+            dpch: DpchConfig::default(),
+        }
     }
 }
 
@@ -106,7 +115,10 @@ impl CellTransmitter {
     /// Panics if the DPCH configuration is invalid (bad SF or code index, or
     /// OVSF code 0 which the CPICH occupies).
     pub fn new(config: CellConfig) -> Self {
-        assert!(config.dpch.code_index != 0, "OVSF code 0 is reserved for the CPICH");
+        assert!(
+            config.dpch.code_index != 0,
+            "OVSF code 0 is reserved for the CPICH"
+        );
         let dpch_code = ovsf(config.dpch.sf, config.dpch.code_index);
         let cpich_code = ovsf(CPICH_SF, 0);
         CellTransmitter {
@@ -148,7 +160,10 @@ impl CellTransmitter {
         let pilot_amp = self.config.cpich_amplitude;
 
         let (dpch1, dpch2) = if self.config.dpch.sttd {
-            assert!(symbols.len() % 2 == 0, "STTD needs an even number of symbols");
+            assert!(
+                symbols.len().is_multiple_of(2),
+                "STTD needs an even number of symbols"
+            );
             let (a1, a2) = sttd_encode(&symbols);
             (a1, Some(a2))
         } else {

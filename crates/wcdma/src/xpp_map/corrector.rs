@@ -16,7 +16,7 @@ use crate::rake::finger::WEIGHT_FRAC_BITS;
 use crate::xpp_map::{split_iq, zip_iq};
 use sdr_dsp::Cplx;
 use xpp_array::{
-    AluOp, Array, ConfigId, CounterCfg, DataOut, Netlist, NetlistBuilder, UnaryOp, Result, Word,
+    AluOp, Array, ConfigId, CounterCfg, DataOut, Netlist, NetlistBuilder, Result, UnaryOp, Word,
     WORD_MIN,
 };
 
@@ -164,7 +164,11 @@ impl ArrayCorrector {
     pub fn new(fingers: usize) -> Result<Self> {
         let mut array = Array::xpp64a();
         let cfg = array.configure(&corrector_netlist(fingers))?;
-        Ok(ArrayCorrector { array, cfg, fingers })
+        Ok(ArrayCorrector {
+            array,
+            cfg,
+            fingers,
+        })
     }
 
     /// Writes per-finger weights into the resident RAM banks (what the DSP
@@ -199,12 +203,16 @@ impl ArrayCorrector {
     ///
     /// Returns an error if the simulation stalls.
     pub fn process(&mut self, muxed: &[Cplx<i32>]) -> Result<Vec<Cplx<i32>>> {
-        assert!(muxed.len() % self.fingers == 0, "stream must cover whole finger rounds");
+        assert!(
+            muxed.len().is_multiple_of(self.fingers),
+            "stream must cover whole finger rounds"
+        );
         let (i, q) = split_iq(muxed);
         self.array.push_input(self.cfg, "i_in", i)?;
         self.array.push_input(self.cfg, "q_in", q)?;
         let budget = 16 * muxed.len() as u64 + 4_000;
-        self.array.run_until_output(self.cfg, "i_out", muxed.len(), budget)?;
+        self.array
+            .run_until_output(self.cfg, "i_out", muxed.len(), budget)?;
         self.array.run_until_idle(4_000)?;
         let i_out = self.array.drain_output(self.cfg, "i_out")?;
         let q_out = self.array.drain_output(self.cfg, "q_out")?;
@@ -257,7 +265,7 @@ impl ArraySttdCorrector {
         w1: Cplx<i32>,
         w2: Cplx<i32>,
     ) -> Result<Vec<Cplx<i32>>> {
-        assert!(symbols.len() % 2 == 0, "STTD needs symbol pairs");
+        assert!(symbols.len().is_multiple_of(2), "STTD needs symbol pairs");
         let (i, q) = split_iq(symbols);
         let pairs = symbols.len() / 2;
         let mut wi = Vec::with_capacity(symbols.len());
@@ -273,7 +281,8 @@ impl ArraySttdCorrector {
         self.array.push_input(self.cfg, "wi", wi)?;
         self.array.push_input(self.cfg, "wq", wq)?;
         let budget = 24 * symbols.len() as u64 + 4_000;
-        self.array.run_until_output(self.cfg, "i_out", symbols.len(), budget)?;
+        self.array
+            .run_until_output(self.cfg, "i_out", symbols.len(), budget)?;
         self.array.run_until_idle(4_000)?;
         let i_out = self.array.drain_output(self.cfg, "i_out")?;
         let q_out = self.array.drain_output(self.cfg, "q_out")?;
@@ -330,8 +339,7 @@ mod tests {
         let out = hw.process(&muxed).unwrap();
         for (f, stream) in per_finger.iter().enumerate() {
             let golden = correct(stream, weights[f]);
-            let got: Vec<Cplx<i32>> =
-                out.iter().skip(f).step_by(fingers).copied().collect();
+            let got: Vec<Cplx<i32>> = out.iter().skip(f).step_by(fingers).copied().collect();
             assert_eq!(got, golden, "finger {f}");
         }
     }
@@ -340,10 +348,12 @@ mod tests {
     fn corrector_weights_can_be_updated_between_blocks() {
         let mut hw = ArrayCorrector::new(2).unwrap();
         let block = syms(8, 3);
-        hw.set_weights(&[Cplx::new(512, 0), Cplx::new(512, 0)]).unwrap();
+        hw.set_weights(&[Cplx::new(512, 0), Cplx::new(512, 0)])
+            .unwrap();
         let first = hw.process(&block).unwrap();
         assert_eq!(first, block); // unit weight = identity
-        hw.set_weights(&[Cplx::new(0, 512), Cplx::new(0, 512)]).unwrap();
+        hw.set_weights(&[Cplx::new(0, 512), Cplx::new(0, 512)])
+            .unwrap();
         let second = hw.process(&block).unwrap();
         let rotated: Vec<Cplx<i32>> = block.iter().map(|s| s.mul_neg_j()).collect();
         assert_eq!(second, rotated); // conj(j)·s = −j·s

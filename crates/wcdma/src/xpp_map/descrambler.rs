@@ -119,7 +119,8 @@ impl ArrayDescrambler {
             .push_input(self.cfg, "ci", bits.iter().map(|b| Word::new(b.0 as i32)))?;
         self.array
             .push_input(self.cfg, "cq", bits.iter().map(|b| Word::new(b.1 as i32)))?;
-        self.array.run_until_output(self.cfg, "i_out", n, 16 * n as u64 + 1_000)?;
+        self.array
+            .run_until_output(self.cfg, "i_out", n, 16 * n as u64 + 1_000)?;
         self.array.run_until_idle(1_000)?;
         let i_out = self.array.drain_output(self.cfg, "i_out")?;
         let q_out = self.array.drain_output(self.cfg, "q_out")?;
@@ -186,7 +187,10 @@ mod tests {
         hw.process(&rx, &code, 0, 0, 512).unwrap();
         let cycles = hw.array().stats().cycles - before;
         // Pipelined: ~1 chip per cycle plus latency and load time.
-        assert!(cycles < 512 + 200, "descrambler too slow: {cycles} cycles for 512 chips");
+        assert!(
+            cycles < 512 + 200,
+            "descrambler too slow: {cycles} cycles for 512 chips"
+        );
     }
 
     #[test]

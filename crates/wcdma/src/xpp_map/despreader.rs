@@ -15,7 +15,9 @@
 use crate::ovsf::ovsf;
 use crate::xpp_map::{split_iq, zip_iq};
 use sdr_dsp::Cplx;
-use xpp_array::{AluOp, Array, ConfigId, CounterCfg, Netlist, NetlistBuilder, UnaryOp, Result, Word};
+use xpp_array::{
+    AluOp, Array, ConfigId, CounterCfg, Netlist, NetlistBuilder, Result, UnaryOp, Word,
+};
 
 /// Minimum finger count for the multiplexed despreader: the RAM
 /// read→add→write-back loop is four pipeline stages deep, so a partial sum
@@ -51,7 +53,8 @@ pub fn despreader_single_netlist(sf: usize, code_index: usize) -> Netlist {
     let out_q = nl.unary(UnaryOp::ShrK(shift), sum_q);
     nl.output("i_out", out_i);
     nl.output("q_out", out_q);
-    nl.build().expect("single despreader netlist is well formed")
+    nl.build()
+        .expect("single despreader netlist is well formed")
 }
 
 /// Builds the time-multiplexed despreader netlist: `fingers` virtual fingers
@@ -72,7 +75,10 @@ pub fn despreader_multiplexed_netlist(fingers: usize, sf: usize) -> Netlist {
         (MIN_MULTIPLEXED_FINGERS..=256).contains(&fingers),
         "fingers must be in {MIN_MULTIPLEXED_FINGERS}..=256"
     );
-    assert!(sf.is_power_of_two() && (4..=512).contains(&sf), "invalid SF {sf}");
+    assert!(
+        sf.is_power_of_two() && (4..=512).contains(&sf),
+        "invalid SF {sf}"
+    );
     let shift = sf.trailing_zeros();
     let period = (sf * fingers) as u64;
     let dump_from = (fingers * (sf - 1)) as i32;
@@ -114,7 +120,8 @@ pub fn despreader_multiplexed_netlist(fingers: usize, sf: usize) -> Netlist {
     }
     nl.output("i_out", outs[0]);
     nl.output("q_out", outs[1]);
-    nl.build().expect("multiplexed despreader netlist is well formed")
+    nl.build()
+        .expect("multiplexed despreader netlist is well formed")
 }
 
 /// A single-finger despreader on its own array.
@@ -150,7 +157,8 @@ impl ArrayDespreader {
         self.array.push_input(self.cfg, "i_in", i)?;
         self.array.push_input(self.cfg, "q_in", q)?;
         let budget = 16 * chips.len() as u64 + 2_000;
-        self.array.run_until_output(self.cfg, "i_out", n_sym, budget)?;
+        self.array
+            .run_until_output(self.cfg, "i_out", n_sym, budget)?;
         self.array.run_until_idle(2_000)?;
         let i_out = self.array.drain_output(self.cfg, "i_out")?;
         let q_out = self.array.drain_output(self.cfg, "q_out")?;
@@ -191,7 +199,13 @@ impl ArrayMultiplexedDespreader {
     pub fn new(fingers: usize, sf: usize, code_index: usize) -> Result<Self> {
         let mut array = Array::xpp64a();
         let cfg = array.configure(&despreader_multiplexed_netlist(fingers, sf))?;
-        Ok(ArrayMultiplexedDespreader { array, cfg, fingers, sf, code: ovsf(sf, code_index) })
+        Ok(ArrayMultiplexedDespreader {
+            array,
+            cfg,
+            fingers,
+            sf,
+            code: ovsf(sf, code_index),
+        })
     }
 
     /// Number of virtual fingers.
@@ -212,9 +226,16 @@ impl ArrayMultiplexedDespreader {
     /// Panics if the stream count differs from the finger count or lengths
     /// are unequal.
     pub fn process(&mut self, streams: &[Vec<Cplx<i32>>]) -> Result<Vec<Vec<Cplx<i32>>>> {
-        assert_eq!(streams.len(), self.fingers, "one stream per finger required");
+        assert_eq!(
+            streams.len(),
+            self.fingers,
+            "one stream per finger required"
+        );
         let len = streams[0].len();
-        assert!(streams.iter().all(|s| s.len() == len), "finger streams must align");
+        assert!(
+            streams.iter().all(|s| s.len() == len),
+            "finger streams must align"
+        );
         let n_sym = len / self.sf;
         let n_chips = n_sym * self.sf;
 
@@ -237,7 +258,8 @@ impl ArrayMultiplexedDespreader {
         self.array.push_input(self.cfg, "code", code_stream)?;
         let expect = n_sym * self.fingers;
         let budget = 16 * total as u64 + 4_000;
-        self.array.run_until_output(self.cfg, "i_out", expect, budget)?;
+        self.array
+            .run_until_output(self.cfg, "i_out", expect, budget)?;
         self.array.run_until_idle(4_000)?;
         let i_out = self.array.drain_output(self.cfg, "i_out")?;
         let q_out = self.array.drain_output(self.cfg, "q_out")?;
@@ -302,8 +324,7 @@ mod tests {
         let fingers = 6;
         let sf = 16;
         let k = 3;
-        let streams: Vec<Vec<Cplx<i32>>> =
-            (0..fingers).map(|f| chips(sf * 4, f as i32)).collect();
+        let streams: Vec<Vec<Cplx<i32>>> = (0..fingers).map(|f| chips(sf * 4, f as i32)).collect();
         let mut hw = ArrayMultiplexedDespreader::new(fingers, sf, k).unwrap();
         let out = hw.process(&streams).unwrap();
         for (f, stream) in streams.iter().enumerate() {
@@ -317,8 +338,9 @@ mod tests {
         let fingers = 18;
         let sf = 64;
         let k = 17;
-        let streams: Vec<Vec<Cplx<i32>>> =
-            (0..fingers).map(|f| chips(sf * 2, f as i32 * 3 + 1)).collect();
+        let streams: Vec<Vec<Cplx<i32>>> = (0..fingers)
+            .map(|f| chips(sf * 2, f as i32 * 3 + 1))
+            .collect();
         let mut hw = ArrayMultiplexedDespreader::new(fingers, sf, k).unwrap();
         let out = hw.process(&streams).unwrap();
         for (f, stream) in streams.iter().enumerate() {
@@ -327,7 +349,11 @@ mod tests {
         // One physical finger: a single pair of RAMs and a handful of PAEs.
         let p = hw.array().placement(hw.config()).unwrap();
         assert_eq!(p.counts.ram, 2);
-        assert!(p.counts.alu <= 8, "physical finger should be small: {:?}", p.counts);
+        assert!(
+            p.counts.alu <= 8,
+            "physical finger should be small: {:?}",
+            p.counts
+        );
     }
 
     #[test]
@@ -340,8 +366,7 @@ mod tests {
     fn multiplexed_throughput_is_one_chip_per_cycle() {
         let fingers = 8;
         let sf = 32;
-        let streams: Vec<Vec<Cplx<i32>>> =
-            (0..fingers).map(|f| chips(sf * 8, f as i32)).collect();
+        let streams: Vec<Vec<Cplx<i32>>> = (0..fingers).map(|f| chips(sf * 8, f as i32)).collect();
         let mut hw = ArrayMultiplexedDespreader::new(fingers, sf, 5).unwrap();
         let before = hw.array().stats().cycles;
         hw.process(&streams).unwrap();

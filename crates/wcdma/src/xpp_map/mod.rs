@@ -13,7 +13,9 @@ pub mod corrector;
 pub mod descrambler;
 pub mod despreader;
 
-pub use corrector::{corrector_netlist, sttd_corrector_netlist, ArrayCorrector, ArraySttdCorrector};
+pub use corrector::{
+    corrector_netlist, sttd_corrector_netlist, ArrayCorrector, ArraySttdCorrector,
+};
 pub use descrambler::{descrambler_netlist, ArrayDescrambler};
 pub use despreader::{
     despreader_multiplexed_netlist, despreader_single_netlist, ArrayDespreader,

@@ -269,7 +269,10 @@ impl Array {
         let mut e_in: HashMap<(usize, usize), usize> = HashMap::new();
         let mut echan_ids = Vec::new();
         for e in &netlist.ev_edges {
-            let idx = self.alloc_echan(Channel::new(e.capacity, e.initial.iter().map(|&b| Event(b))));
+            let idx = self.alloc_echan(Channel::new(
+                e.capacity,
+                e.initial.iter().map(|&b| Event(b)),
+            ));
             echan_ids.push(idx);
             e_map.entry(e.from).or_default().push(idx);
             e_in.insert(e.to, idx);
@@ -281,7 +284,10 @@ impl Array {
         for (n, spec) in netlist.nodes.iter().enumerate() {
             let shape = spec.kind.shape();
             let state = match &spec.kind {
-                ObjectKind::Counter(_) => ObjState::Counter { value: 0, remaining: 0 },
+                ObjectKind::Counter(_) => ObjState::Counter {
+                    value: 0,
+                    remaining: 0,
+                },
                 ObjectKind::AccumDump => ObjState::Accum(Word::ZERO),
                 ObjectKind::Ram { preload } => {
                     let mut mem = vec![Word::ZERO; RAM_WORDS];
@@ -307,7 +313,9 @@ impl Array {
                 dout: (0..shape.dout)
                     .map(|p| d_map.get(&(n, p)).cloned().unwrap_or_default())
                     .collect(),
-                evin: (0..shape.evin).map(|p| e_in.get(&(n, p)).copied()).collect(),
+                evin: (0..shape.evin)
+                    .map(|p| e_in.get(&(n, p)).copied())
+                    .collect(),
                 evout: (0..shape.evout)
                     .map(|p| e_map.get(&(n, p)).cloned().unwrap_or_default())
                     .collect(),
@@ -357,7 +365,10 @@ impl Array {
     ///
     /// Returns [`Error::NoSuchConfig`] if the id is stale.
     pub fn unload(&mut self, cfg: ConfigId) -> Result<()> {
-        let loaded = self.configs.remove(&cfg.0).ok_or(Error::NoSuchConfig(cfg.0))?;
+        let loaded = self
+            .configs
+            .remove(&cfg.0)
+            .ok_or(Error::NoSuchConfig(cfg.0))?;
         for o in &loaded.objects {
             self.objects[*o] = None;
         }
@@ -427,8 +438,10 @@ impl Array {
         words: impl IntoIterator<Item = Word>,
     ) -> Result<()> {
         let obj = self.port(cfg, name, PortDir::DataIn)?;
-        if let Some(RuntimeObject { state: ObjState::ExtInData(q), .. }) =
-            self.objects[obj].as_mut()
+        if let Some(RuntimeObject {
+            state: ObjState::ExtInData(q),
+            ..
+        }) = self.objects[obj].as_mut()
         {
             q.extend(words);
             Ok(())
@@ -449,7 +462,10 @@ impl Array {
         events: impl IntoIterator<Item = bool>,
     ) -> Result<()> {
         let obj = self.port(cfg, name, PortDir::EvIn)?;
-        if let Some(RuntimeObject { state: ObjState::ExtInEv(q), .. }) = self.objects[obj].as_mut()
+        if let Some(RuntimeObject {
+            state: ObjState::ExtInEv(q),
+            ..
+        }) = self.objects[obj].as_mut()
         {
             q.extend(events);
             Ok(())
@@ -465,8 +481,10 @@ impl Array {
     /// Returns an error if the configuration or port does not exist.
     pub fn drain_output(&mut self, cfg: ConfigId, name: &str) -> Result<Vec<Word>> {
         let obj = self.port(cfg, name, PortDir::DataOut)?;
-        if let Some(RuntimeObject { state: ObjState::ExtOutData(v), .. }) =
-            self.objects[obj].as_mut()
+        if let Some(RuntimeObject {
+            state: ObjState::ExtOutData(v),
+            ..
+        }) = self.objects[obj].as_mut()
         {
             Ok(std::mem::take(v))
         } else {
@@ -481,7 +499,10 @@ impl Array {
     /// Returns an error if the configuration or port does not exist.
     pub fn drain_output_events(&mut self, cfg: ConfigId, name: &str) -> Result<Vec<bool>> {
         let obj = self.port(cfg, name, PortDir::EvOut)?;
-        if let Some(RuntimeObject { state: ObjState::ExtOutEv(v), .. }) = self.objects[obj].as_mut()
+        if let Some(RuntimeObject {
+            state: ObjState::ExtOutEv(v),
+            ..
+        }) = self.objects[obj].as_mut()
         {
             Ok(std::mem::take(v))
         } else {
@@ -496,7 +517,10 @@ impl Array {
     /// Returns an error if the configuration or port does not exist.
     pub fn output_len(&self, cfg: ConfigId, name: &str) -> Result<usize> {
         let obj = self.port(cfg, name, PortDir::DataOut)?;
-        if let Some(RuntimeObject { state: ObjState::ExtOutData(v), .. }) = self.objects[obj].as_ref()
+        if let Some(RuntimeObject {
+            state: ObjState::ExtOutData(v),
+            ..
+        }) = self.objects[obj].as_ref()
         {
             Ok(v.len())
         } else {
@@ -585,7 +609,14 @@ impl Array {
         let loading: HashSet<u32> = self.load_queue.iter().copied().collect();
 
         // Fire phase.
-        let Array { objects, dchans, echans, stats, config_fires, .. } = self;
+        let Array {
+            objects,
+            dchans,
+            echans,
+            stats,
+            config_fires,
+            ..
+        } = self;
         for obj in objects.iter_mut().flatten() {
             if loading.contains(&obj.config) {
                 continue;
@@ -610,26 +641,36 @@ impl Array {
         for conn in &self.connections {
             if conn.event {
                 let moved = match self.objects[conn.from_obj].as_mut() {
-                    Some(RuntimeObject { state: ObjState::ExtOutEv(v), .. }) => std::mem::take(v),
+                    Some(RuntimeObject {
+                        state: ObjState::ExtOutEv(v),
+                        ..
+                    }) => std::mem::take(v),
                     _ => Vec::new(),
                 };
                 if !moved.is_empty() {
                     active = true;
-                    if let Some(RuntimeObject { state: ObjState::ExtInEv(q), .. }) =
-                        self.objects[conn.to_obj].as_mut()
+                    if let Some(RuntimeObject {
+                        state: ObjState::ExtInEv(q),
+                        ..
+                    }) = self.objects[conn.to_obj].as_mut()
                     {
                         q.extend(moved);
                     }
                 }
             } else {
                 let moved = match self.objects[conn.from_obj].as_mut() {
-                    Some(RuntimeObject { state: ObjState::ExtOutData(v), .. }) => std::mem::take(v),
+                    Some(RuntimeObject {
+                        state: ObjState::ExtOutData(v),
+                        ..
+                    }) => std::mem::take(v),
                     _ => Vec::new(),
                 };
                 if !moved.is_empty() {
                     active = true;
-                    if let Some(RuntimeObject { state: ObjState::ExtInData(q), .. }) =
-                        self.objects[conn.to_obj].as_mut()
+                    if let Some(RuntimeObject {
+                        state: ObjState::ExtInData(q),
+                        ..
+                    }) = self.objects[conn.to_obj].as_mut()
                     {
                         q.extend(moved);
                     }
@@ -693,7 +734,8 @@ impl Array {
 // ---- firing rules -------------------------------------------------------
 
 fn can_put_d(dchans: &[Option<Channel<Word>>], list: &[usize]) -> bool {
-    list.iter().all(|&c| dchans[c].as_ref().expect("live channel").has_space())
+    list.iter()
+        .all(|&c| dchans[c].as_ref().expect("live channel").has_space())
 }
 
 fn put_d(dchans: &mut [Option<Channel<Word>>], list: &[usize], w: Word) {
@@ -703,7 +745,8 @@ fn put_d(dchans: &mut [Option<Channel<Word>>], list: &[usize], w: Word) {
 }
 
 fn can_put_e(echans: &[Option<Channel<Event>>], list: &[usize]) -> bool {
-    list.iter().all(|&c| echans[c].as_ref().expect("live channel").has_space())
+    list.iter()
+        .all(|&c| echans[c].as_ref().expect("live channel").has_space())
 }
 
 fn put_e(echans: &mut [Option<Channel<Event>>], list: &[usize], e: Event) {
@@ -727,7 +770,11 @@ fn has_e(echans: &[Option<Channel<Event>>], ch: Option<usize>) -> bool {
 }
 
 fn peek_e(echans: &[Option<Channel<Event>>], ch: usize) -> Event {
-    echans[ch].as_ref().expect("live channel").peek().expect("token present")
+    echans[ch]
+        .as_ref()
+        .expect("live channel")
+        .peek()
+        .expect("token present")
 }
 
 fn take_e(echans: &mut [Option<Channel<Event>>], ch: usize) -> Event {
@@ -743,7 +790,9 @@ fn fire_object(
 ) -> u32 {
     match &obj.kind {
         ObjectKind::Alu(op) => {
-            if has_d(dchans, obj.din[0]) && has_d(dchans, obj.din[1]) && can_put_d(dchans, &obj.dout[0])
+            if has_d(dchans, obj.din[0])
+                && has_d(dchans, obj.din[1])
+                && can_put_d(dchans, &obj.dout[0])
             {
                 let a = take_d(dchans, obj.din[0].unwrap());
                 let b = take_d(dchans, obj.din[1].unwrap());
@@ -952,9 +1001,14 @@ fn fire_object(
                 stats.ram_writes += 1;
                 fires += 1;
             }
-            if obj.din[0].is_some() && has_d(dchans, obj.din[0]) && can_put_d(dchans, &obj.dout[0]) {
+            if obj.din[0].is_some() && has_d(dchans, obj.din[0]) && can_put_d(dchans, &obj.dout[0])
+            {
                 let a = take_d(dchans, obj.din[0].unwrap()).bits() as usize % RAM_WORDS;
-                let v = if let ObjState::Ram(mem) = &obj.state { mem[a] } else { Word::ZERO };
+                let v = if let ObjState::Ram(mem) = &obj.state {
+                    mem[a]
+                } else {
+                    Word::ZERO
+                };
                 put_d(dchans, &obj.dout[0], v);
                 stats.ram_reads += 1;
                 fires += 1;

@@ -33,7 +33,12 @@ impl<T: Copy> Channel<T> {
         assert!(capacity >= 1, "channel capacity must be at least 1");
         let queue: VecDeque<T> = initial.into_iter().collect();
         assert!(queue.len() <= capacity, "initial tokens exceed capacity");
-        Channel { queue, capacity, staged_pop: false, staged_push: None }
+        Channel {
+            queue,
+            capacity,
+            staged_pop: false,
+            staged_push: None,
+        }
     }
 
     /// True if a token is available for consumption this cycle.

@@ -76,7 +76,11 @@ impl fmt::Display for Error {
                 write!(f, "input port {port} on object {object} is already driven")
             }
             Error::UnknownPort(name) => write!(f, "no external port named {name:?}"),
-            Error::PlacementFailed { resource, needed, available } => write!(
+            Error::PlacementFailed {
+                resource,
+                needed,
+                available,
+            } => write!(
                 f,
                 "placement failed: {needed} {resource} needed but only {available} free"
             ),
@@ -87,11 +91,18 @@ impl fmt::Display for Error {
             Error::Timeout { budget } => {
                 write!(f, "array did not become idle within {budget} cycles")
             }
-            Error::PreloadTooLarge { object, requested, max } => write!(
+            Error::PreloadTooLarge {
+                object,
+                requested,
+                max,
+            } => write!(
                 f,
                 "preload of {requested} words on {object} exceeds the maximum of {max}"
             ),
-            Error::TooManyInitialTokens { requested, capacity } => write!(
+            Error::TooManyInitialTokens {
+                requested,
+                capacity,
+            } => write!(
                 f,
                 "{requested} initial tokens exceed the channel capacity of {capacity}"
             ),
@@ -112,16 +123,33 @@ mod tests {
     #[test]
     fn display_is_nonempty_for_all_variants() {
         let variants = vec![
-            Error::UnconnectedInput { object: "alu3".into(), port: "in1".into() },
+            Error::UnconnectedInput {
+                object: "alu3".into(),
+                port: "in1".into(),
+            },
             Error::DuplicatePortName("x".into()),
-            Error::InputAlreadyConnected { object: "a".into(), port: "in0".into() },
+            Error::InputAlreadyConnected {
+                object: "a".into(),
+                port: "in0".into(),
+            },
             Error::UnknownPort("out".into()),
-            Error::PlacementFailed { resource: "ALU slots".into(), needed: 9, available: 2 },
+            Error::PlacementFailed {
+                resource: "ALU slots".into(),
+                needed: 9,
+                available: 2,
+            },
             Error::NoSuchConfig(3),
             Error::ConfigLoading(1),
             Error::Timeout { budget: 100 },
-            Error::PreloadTooLarge { object: "ram".into(), requested: 600, max: 512 },
-            Error::TooManyInitialTokens { requested: 5, capacity: 2 },
+            Error::PreloadTooLarge {
+                object: "ram".into(),
+                requested: 600,
+                max: 512,
+            },
+            Error::TooManyInitialTokens {
+                requested: 5,
+                capacity: 2,
+            },
             Error::EmptyNetlist,
         ];
         for v in variants {

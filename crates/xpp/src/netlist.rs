@@ -313,7 +313,11 @@ impl NetlistBuilder {
         CounterPorts {
             value: DataOut { node: n, port: 0 },
             wrap: EvOut { node: n, port: 0 },
-            go: if gated { Some(EvIn { node: n, port: 0 }) } else { None },
+            go: if gated {
+                Some(EvIn { node: n, port: 0 })
+            } else {
+                None
+            },
             node: NodeId(n),
         }
     }
@@ -434,7 +438,11 @@ impl NetlistBuilder {
 
     /// Adds a FIFO with a depth limit and initial contents.
     pub fn fifo(&mut self, depth: usize, preload: Vec<Word>) -> FifoPorts {
-        let n = self.push(ObjectKind::RamFifo { depth, preload, ring: false });
+        let n = self.push(ObjectKind::RamFifo {
+            depth,
+            preload,
+            ring: false,
+        });
         FifoPorts {
             input: DataIn { node: n, port: 0 },
             output: DataOut { node: n, port: 0 },
@@ -446,7 +454,11 @@ impl NetlistBuilder {
     /// repeatedly, forever (the paper's twiddle/address lookup tables).
     pub fn ring_fifo(&mut self, contents: Vec<Word>) -> DataOut {
         let depth = contents.len();
-        let n = self.push(ObjectKind::RamFifo { depth, preload: contents, ring: true });
+        let n = self.push(ObjectKind::RamFifo {
+            depth,
+            preload: contents,
+            ring: true,
+        });
         DataOut { node: n, port: 0 }
     }
 
@@ -572,7 +584,11 @@ impl NetlistBuilder {
                 if wa != wd {
                     return Err(Error::UnconnectedInput {
                         object: node.label.clone(),
-                        port: if wa { "in2 (wr_data)".into() } else { "in1 (wr_addr)".into() },
+                        port: if wa {
+                            "in2 (wr_data)".into()
+                        } else {
+                            "in1 (wr_addr)".into()
+                        },
                     });
                 }
             }
@@ -605,7 +621,10 @@ mod tests {
 
     #[test]
     fn empty_netlist_rejected() {
-        assert_eq!(NetlistBuilder::new("e").build().unwrap_err(), Error::EmptyNetlist);
+        assert_eq!(
+            NetlistBuilder::new("e").build().unwrap_err(),
+            Error::EmptyNetlist
+        );
     }
 
     #[test]
@@ -626,7 +645,10 @@ mod tests {
         nl.wire(a, in0);
         nl.wire(b, in0);
         nl.wire(b, in1);
-        assert!(matches!(nl.build(), Err(Error::InputAlreadyConnected { .. })));
+        assert!(matches!(
+            nl.build(),
+            Err(Error::InputAlreadyConnected { .. })
+        ));
     }
 
     #[test]
@@ -634,7 +656,10 @@ mod tests {
         let mut nl = NetlistBuilder::new("t");
         let a = nl.input("x");
         nl.output("x", a);
-        assert_eq!(nl.build().unwrap_err(), Error::DuplicatePortName("x".into()));
+        assert_eq!(
+            nl.build().unwrap_err(),
+            Error::DuplicatePortName("x".into())
+        );
     }
 
     #[test]
@@ -674,7 +699,10 @@ mod tests {
         let (in0, in1, out) = nl.alu_deferred(AluOp::Add);
         nl.wire(a, in0);
         nl.wire_with(out, in1, 2, vec![Word::ZERO; 3]);
-        assert!(matches!(nl.build(), Err(Error::TooManyInitialTokens { .. })));
+        assert!(matches!(
+            nl.build(),
+            Err(Error::TooManyInitialTokens { .. })
+        ));
     }
 
     #[test]

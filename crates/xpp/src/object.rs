@@ -60,8 +60,20 @@ impl AluOp {
             AluOp::And => a.and(b),
             AluOp::Or => a.or(b),
             AluOp::Xor => a.xor(b),
-            AluOp::Min => if a.value() <= b.value() { a } else { b },
-            AluOp::Max => if a.value() >= b.value() { a } else { b },
+            AluOp::Min => {
+                if a.value() <= b.value() {
+                    a
+                } else {
+                    b
+                }
+            }
+            AluOp::Max => {
+                if a.value() >= b.value() {
+                    a
+                } else {
+                    b
+                }
+            }
             AluOp::Lt => Word::new((a.value() < b.value()) as i32),
             AluOp::Eq => Word::new((a.value() == b.value()) as i32),
             AluOp::Shl => a.shl(b.value().clamp(0, 47) as u32),
@@ -160,12 +172,22 @@ pub struct CounterCfg {
 impl CounterCfg {
     /// An ungated modulo-`period` up-counter from zero.
     pub fn modulo(period: u64) -> Self {
-        CounterCfg { start: 0, step: 1, period, gated: false }
+        CounterCfg {
+            start: 0,
+            step: 1,
+            period,
+            gated: false,
+        }
     }
 
     /// A gated burst counter from zero.
     pub fn gated_burst(period: u64) -> Self {
-        CounterCfg { start: 0, step: 1, period, gated: true }
+        CounterCfg {
+            start: 0,
+            step: 1,
+            period,
+            gated: true,
+        }
     }
 }
 
@@ -269,35 +291,120 @@ impl ObjectKind {
     pub fn shape(&self) -> PortShape {
         use ObjectKind::*;
         match self {
-            Alu(_) => PortShape { din: 2, dout: 1, evin: 0, evout: 0 },
-            Unary(_) => PortShape { din: 1, dout: 1, evin: 0, evout: 0 },
-            Const(_) => PortShape { din: 0, dout: 1, evin: 0, evout: 0 },
+            Alu(_) => PortShape {
+                din: 2,
+                dout: 1,
+                evin: 0,
+                evout: 0,
+            },
+            Unary(_) => PortShape {
+                din: 1,
+                dout: 1,
+                evin: 0,
+                evout: 0,
+            },
+            Const(_) => PortShape {
+                din: 0,
+                dout: 1,
+                evin: 0,
+                evout: 0,
+            },
             Counter(c) => PortShape {
                 din: 0,
                 dout: 1,
                 evin: if c.gated { 1 } else { 0 },
                 evout: 1,
             },
-            Select | Merge => PortShape { din: 2, dout: 1, evin: 1, evout: 0 },
-            Demux => PortShape { din: 1, dout: 2, evin: 1, evout: 0 },
-            Swap => PortShape { din: 2, dout: 2, evin: 1, evout: 0 },
-            Gate => PortShape { din: 1, dout: 1, evin: 1, evout: 0 },
-            AccumDump => PortShape { din: 1, dout: 1, evin: 1, evout: 0 },
-            ToEvent => PortShape { din: 1, dout: 0, evin: 0, evout: 1 },
-            ToData => PortShape { din: 0, dout: 1, evin: 1, evout: 0 },
-            EventNot => PortShape { din: 0, dout: 0, evin: 1, evout: 1 },
-            EventAnd | EventOr => PortShape { din: 0, dout: 0, evin: 2, evout: 1 },
-            Ram { .. } => PortShape { din: 3, dout: 1, evin: 0, evout: 0 },
+            Select | Merge => PortShape {
+                din: 2,
+                dout: 1,
+                evin: 1,
+                evout: 0,
+            },
+            Demux => PortShape {
+                din: 1,
+                dout: 2,
+                evin: 1,
+                evout: 0,
+            },
+            Swap => PortShape {
+                din: 2,
+                dout: 2,
+                evin: 1,
+                evout: 0,
+            },
+            Gate => PortShape {
+                din: 1,
+                dout: 1,
+                evin: 1,
+                evout: 0,
+            },
+            AccumDump => PortShape {
+                din: 1,
+                dout: 1,
+                evin: 1,
+                evout: 0,
+            },
+            ToEvent => PortShape {
+                din: 1,
+                dout: 0,
+                evin: 0,
+                evout: 1,
+            },
+            ToData => PortShape {
+                din: 0,
+                dout: 1,
+                evin: 1,
+                evout: 0,
+            },
+            EventNot => PortShape {
+                din: 0,
+                dout: 0,
+                evin: 1,
+                evout: 1,
+            },
+            EventAnd | EventOr => PortShape {
+                din: 0,
+                dout: 0,
+                evin: 2,
+                evout: 1,
+            },
+            Ram { .. } => PortShape {
+                din: 3,
+                dout: 1,
+                evin: 0,
+                evout: 0,
+            },
             RamFifo { ring, .. } => PortShape {
                 din: if *ring { 0 } else { 1 },
                 dout: 1,
                 evin: 0,
                 evout: 0,
             },
-            Input(_) => PortShape { din: 0, dout: 1, evin: 0, evout: 0 },
-            Output(_) => PortShape { din: 1, dout: 0, evin: 0, evout: 0 },
-            InputEvent(_) => PortShape { din: 0, dout: 0, evin: 0, evout: 1 },
-            OutputEvent(_) => PortShape { din: 0, dout: 0, evin: 1, evout: 0 },
+            Input(_) => PortShape {
+                din: 0,
+                dout: 1,
+                evin: 0,
+                evout: 0,
+            },
+            Output(_) => PortShape {
+                din: 1,
+                dout: 0,
+                evin: 0,
+                evout: 0,
+            },
+            InputEvent(_) => PortShape {
+                din: 0,
+                dout: 0,
+                evin: 0,
+                evout: 1,
+            },
+            OutputEvent(_) => PortShape {
+                din: 0,
+                dout: 0,
+                evin: 1,
+                evout: 0,
+            },
         }
     }
 
@@ -315,8 +422,8 @@ impl ObjectKind {
         match self {
             Alu(_) | AccumDump => SlotClass::Alu,
             Unary(op) if op.uses_multiplier() => SlotClass::Alu,
-            Unary(_) | Const(_) | Counter(_) | Select | Merge | Demux | Swap | Gate
-            | ToEvent | ToData | EventNot | EventAnd | EventOr => SlotClass::Reg,
+            Unary(_) | Const(_) | Counter(_) | Select | Merge | Demux | Swap | Gate | ToEvent
+            | ToData | EventNot | EventAnd | EventOr => SlotClass::Reg,
             Ram { .. } | RamFifo { .. } => SlotClass::Ram,
             Input(_) | Output(_) | InputEvent(_) | OutputEvent(_) => SlotClass::Io,
         }
@@ -390,8 +497,14 @@ mod tests {
         assert_eq!(UnaryOp::ShlK(3).eval(Word::new(2)).value(), 16);
         assert_eq!(UnaryOp::ShrK(1).eval(Word::new(-7)).value(), -4);
         assert_eq!(UnaryOp::AddK(Word::new(5)).eval(Word::new(-2)).value(), 3);
-        assert_eq!(UnaryOp::MulKShr(Word::new(3), 1).eval(Word::new(5)).value(), 7);
-        assert_eq!(UnaryOp::AndK(Word::new(0xF)).eval(Word::new(0x12)).value(), 2);
+        assert_eq!(
+            UnaryOp::MulKShr(Word::new(3), 1).eval(Word::new(5)).value(),
+            7
+        );
+        assert_eq!(
+            UnaryOp::AndK(Word::new(0xF)).eval(Word::new(0x12)).value(),
+            2
+        );
         assert_eq!(UnaryOp::XorK(Word::new(1)).eval(Word::new(3)).value(), 2);
         assert_eq!(UnaryOp::EqK(Word::new(7)).eval(Word::new(7)).value(), 1);
         assert_eq!(UnaryOp::EqK(Word::new(7)).eval(Word::new(8)).value(), 0);
@@ -412,16 +525,29 @@ mod tests {
     fn shapes_are_consistent() {
         assert_eq!(
             ObjectKind::Alu(AluOp::Add).shape(),
-            PortShape { din: 2, dout: 1, evin: 0, evout: 0 }
+            PortShape {
+                din: 2,
+                dout: 1,
+                evin: 0,
+                evout: 0
+            }
         );
         let gated = ObjectKind::Counter(CounterCfg::gated_burst(8));
         assert_eq!(gated.shape().evin, 1);
         let free = ObjectKind::Counter(CounterCfg::modulo(8));
         assert_eq!(free.shape().evin, 0);
         assert_eq!(ObjectKind::Ram { preload: vec![] }.shape().din, 3);
-        let ring = ObjectKind::RamFifo { depth: 4, preload: vec![], ring: true };
+        let ring = ObjectKind::RamFifo {
+            depth: 4,
+            preload: vec![],
+            ring: true,
+        };
         assert_eq!(ring.shape().din, 0);
-        let fifo = ObjectKind::RamFifo { depth: 4, preload: vec![], ring: false };
+        let fifo = ObjectKind::RamFifo {
+            depth: 4,
+            preload: vec![],
+            ring: false,
+        };
         assert_eq!(fifo.shape().din, 1);
     }
 
@@ -433,9 +559,15 @@ mod tests {
             ObjectKind::Unary(UnaryOp::MulKShr(Word::ONE, 0)).slot_class(),
             SlotClass::Alu
         );
-        assert_eq!(ObjectKind::Unary(UnaryOp::Pass).slot_class(), SlotClass::Reg);
+        assert_eq!(
+            ObjectKind::Unary(UnaryOp::Pass).slot_class(),
+            SlotClass::Reg
+        );
         assert_eq!(ObjectKind::Const(Word::ZERO).slot_class(), SlotClass::Reg);
-        assert_eq!(ObjectKind::Ram { preload: vec![] }.slot_class(), SlotClass::Ram);
+        assert_eq!(
+            ObjectKind::Ram { preload: vec![] }.slot_class(),
+            SlotClass::Ram
+        );
         assert_eq!(ObjectKind::Input("x".into()).slot_class(), SlotClass::Io);
     }
 

@@ -35,7 +35,13 @@ impl Geometry {
     /// pair into one 24-bit word, so the simulator exposes 16 logical
     /// streams (one per I/Q component) to keep the kernel netlists readable.
     pub fn xpp64a() -> Self {
-        Geometry { alu_paes: 64, ram_paes: 16, io_channels: 16, regs_per_pae: 2, routes_per_pae: 4 }
+        Geometry {
+            alu_paes: 64,
+            ram_paes: 16,
+            io_channels: 16,
+            regs_per_pae: 2,
+            routes_per_pae: 4,
+        }
     }
 
     /// Total register slots.
@@ -258,7 +264,13 @@ mod tests {
     #[test]
     fn pool_allocates_and_releases() {
         let mut pool = ResourcePool::new(Geometry::xpp64a());
-        let need = ResourceCounts { alu: 10, reg: 5, ram: 2, io: 4, route: 20 };
+        let need = ResourceCounts {
+            alu: 10,
+            reg: 5,
+            ram: 2,
+            io: 4,
+            route: 20,
+        };
         pool.allocate(need).unwrap();
         assert_eq!(pool.free().alu, 54);
         assert!(pool.alu_utilization() > 0.15);
@@ -270,9 +282,16 @@ mod tests {
     #[test]
     fn pool_rejects_overallocation_naming_resource() {
         let mut pool = ResourcePool::new(Geometry::xpp64a());
-        let need = ResourceCounts { alu: 100, ..Default::default() };
+        let need = ResourceCounts {
+            alu: 100,
+            ..Default::default()
+        };
         match pool.allocate(need) {
-            Err(Error::PlacementFailed { resource, needed, available }) => {
+            Err(Error::PlacementFailed {
+                resource,
+                needed,
+                available,
+            }) => {
                 assert_eq!(resource, "ALU slots");
                 assert_eq!(needed, 100);
                 assert_eq!(available, 64);
@@ -284,7 +303,11 @@ mod tests {
     #[test]
     fn failed_allocation_leaves_pool_untouched() {
         let mut pool = ResourcePool::new(Geometry::xpp64a());
-        let need = ResourceCounts { alu: 2, io: 100, ..Default::default() };
+        let need = ResourceCounts {
+            alu: 2,
+            io: 100,
+            ..Default::default()
+        };
         assert!(pool.allocate(need).is_err());
         assert_eq!(pool.free(), pool.total());
     }
@@ -299,9 +322,30 @@ mod tests {
 
     #[test]
     fn counts_plus_adds_componentwise() {
-        let a = ResourceCounts { alu: 1, reg: 2, ram: 3, io: 4, route: 5 };
-        let b = ResourceCounts { alu: 10, reg: 20, ram: 30, io: 40, route: 50 };
+        let a = ResourceCounts {
+            alu: 1,
+            reg: 2,
+            ram: 3,
+            io: 4,
+            route: 5,
+        };
+        let b = ResourceCounts {
+            alu: 10,
+            reg: 20,
+            ram: 30,
+            io: 40,
+            route: 50,
+        };
         let c = a.plus(b);
-        assert_eq!(c, ResourceCounts { alu: 11, reg: 22, ram: 33, io: 44, route: 55 });
+        assert_eq!(
+            c,
+            ResourceCounts {
+                alu: 11,
+                reg: 22,
+                ram: 33,
+                io: 44,
+                route: 55
+            }
+        );
     }
 }

@@ -70,7 +70,11 @@ impl EnergyModel {
             + stats.config_cycles as f64 * self.pj_config;
         let leakage_pj =
             stats.cycles as f64 * geometry.total_paes() as f64 * self.pj_leak_per_pae_cycle;
-        let seconds = if clock_hz > 0.0 { stats.cycles as f64 / clock_hz } else { 0.0 };
+        let seconds = if clock_hz > 0.0 {
+            stats.cycles as f64 / clock_hz
+        } else {
+            0.0
+        };
         PowerReport {
             dynamic_nj: dynamic_pj / 1e3,
             leakage_nj: leakage_pj / 1e3,
@@ -128,7 +132,11 @@ pub struct AreaModel {
 impl AreaModel {
     /// Estimates for 0.13 µm HCMOS9 (6–8 copper layers, low-k dielectric).
     pub fn hcmos9_130nm() -> Self {
-        AreaModel { mm2_alu_pae: 0.30, mm2_ram_pae: 0.55, mm2_periphery: 4.0 }
+        AreaModel {
+            mm2_alu_pae: 0.30,
+            mm2_ram_pae: 0.55,
+            mm2_periphery: 4.0,
+        }
     }
 
     /// Die area for a geometry.
@@ -151,7 +159,10 @@ mod tests {
 
     #[test]
     fn idle_array_consumes_only_leakage() {
-        let stats = ArrayStats { cycles: 1000, ..Default::default() };
+        let stats = ArrayStats {
+            cycles: 1000,
+            ..Default::default()
+        };
         let r = EnergyModel::hcmos9_130nm().report(&stats, Geometry::xpp64a(), 64e6);
         assert_eq!(r.dynamic_nj, 0.0);
         assert!(r.leakage_nj > 0.0);
@@ -162,14 +173,26 @@ mod tests {
     fn multiplies_cost_more_than_adds() {
         let g = Geometry::xpp64a();
         let m = EnergyModel::hcmos9_130nm();
-        let adds = ArrayStats { cycles: 100, alu_fires: 100, ..Default::default() };
-        let muls = ArrayStats { cycles: 100, mul_fires: 100, ..Default::default() };
+        let adds = ArrayStats {
+            cycles: 100,
+            alu_fires: 100,
+            ..Default::default()
+        };
+        let muls = ArrayStats {
+            cycles: 100,
+            mul_fires: 100,
+            ..Default::default()
+        };
         assert!(m.report(&muls, g, 64e6).dynamic_nj > m.report(&adds, g, 64e6).dynamic_nj);
     }
 
     #[test]
     fn power_scales_with_clock() {
-        let stats = ArrayStats { cycles: 1000, alu_fires: 500, ..Default::default() };
+        let stats = ArrayStats {
+            cycles: 1000,
+            alu_fires: 500,
+            ..Default::default()
+        };
         let m = EnergyModel::hcmos9_130nm();
         let slow = m.report(&stats, Geometry::xpp64a(), 10e6);
         let fast = m.report(&stats, Geometry::xpp64a(), 100e6);
@@ -180,7 +203,10 @@ mod tests {
 
     #[test]
     fn zero_clock_reports_zero_power() {
-        let stats = ArrayStats { cycles: 10, ..Default::default() };
+        let stats = ArrayStats {
+            cycles: 10,
+            ..Default::default()
+        };
         let r = EnergyModel::default().report(&stats, Geometry::xpp64a(), 0.0);
         assert_eq!(r.avg_power_mw(), 0.0);
     }

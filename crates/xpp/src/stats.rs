@@ -105,8 +105,16 @@ mod tests {
 
     #[test]
     fn delta_subtracts() {
-        let a = ArrayStats { cycles: 5, alu_fires: 2, ..Default::default() };
-        let b = ArrayStats { cycles: 9, alu_fires: 7, ..Default::default() };
+        let a = ArrayStats {
+            cycles: 5,
+            alu_fires: 2,
+            ..Default::default()
+        };
+        let b = ArrayStats {
+            cycles: 9,
+            alu_fires: 7,
+            ..Default::default()
+        };
         let d = b.delta_since(&a);
         assert_eq!(d.cycles, 4);
         assert_eq!(d.alu_fires, 5);

@@ -39,13 +39,13 @@ impl Word {
     /// Creates a word, wrapping the value into 24-bit two's complement.
     #[inline]
     pub const fn new(v: i32) -> Self {
-        Word(((v << 8) as i32) >> 8)
+        Word((v << 8) >> 8)
     }
 
     /// Creates a word from an `i64`, wrapping into 24 bits.
     #[inline]
     pub const fn from_i64(v: i64) -> Self {
-        Word((((v as i32) << 8) as i32) >> 8)
+        Word(((v as i32) << 8) >> 8)
     }
 
     /// The sign-extended value.
@@ -105,12 +105,14 @@ impl Word {
 
     /// Logical-ish left shift (wraps into 24 bits).
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn shl(self, shift: u32) -> Word {
         Word::from_i64((self.0 as i64) << (shift.min(48)))
     }
 
     /// Arithmetic right shift.
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn shr(self, shift: u32) -> Word {
         Word::new(self.0 >> shift.min(31))
     }
@@ -204,7 +206,10 @@ mod tests {
     fn wrapping_arithmetic() {
         let max = Word::new(WORD_MAX);
         assert_eq!(max.wrapping_add(Word::ONE).value(), WORD_MIN);
-        assert_eq!(Word::new(WORD_MIN).wrapping_sub(Word::ONE).value(), WORD_MAX);
+        assert_eq!(
+            Word::new(WORD_MIN).wrapping_sub(Word::ONE).value(),
+            WORD_MAX
+        );
         assert_eq!(Word::new(WORD_MIN).wrapping_neg().value(), WORD_MIN); // -(-2^23) wraps
         assert_eq!(Word::new(5).wrapping_neg().value(), -5);
     }

@@ -3,7 +3,7 @@
 //! rules the paper highlights.
 
 use xpp_array::{
-    AluOp, Array, ConfigId, CounterCfg, Error, Geometry, Netlist, NetlistBuilder, UnaryOp, Word,
+    AluOp, Array, CounterCfg, Error, Geometry, Netlist, NetlistBuilder, UnaryOp, Word,
     CONFIG_CYCLES_PER_OBJECT,
 };
 
@@ -33,7 +33,10 @@ fn streaming_pipeline_end_to_end() {
     array.push_input(cfg, "a", words([10, 20, 30])).unwrap();
     array.push_input(cfg, "b", words([2, 4, 6])).unwrap();
     array.run_until_idle(1_000).unwrap();
-    assert_eq!(values(&array.drain_output(cfg, "y").unwrap()), vec![6, 12, 18]);
+    assert_eq!(
+        values(&array.drain_output(cfg, "y").unwrap()),
+        vec![6, 12, 18]
+    );
 }
 
 #[test]
@@ -49,7 +52,9 @@ fn pipeline_sustains_one_token_per_cycle() {
         array.step();
     }
     let start = array.stats().cycles;
-    array.run_until_output(cfg, "y", n as usize, 10_000).unwrap();
+    array
+        .run_until_output(cfg, "y", n as usize, 10_000)
+        .unwrap();
     let cycles = array.stats().cycles - start;
     // 4-object pipeline latency + n tokens; allow small slack.
     assert!(
@@ -75,10 +80,15 @@ fn capacity_one_halves_throughput() {
         array.step();
     }
     let start = array.stats().cycles;
-    array.run_until_output(cfg, "y", n as usize, 10_000).unwrap();
+    array
+        .run_until_output(cfg, "y", n as usize, 10_000)
+        .unwrap();
     let cycles = array.stats().cycles - start;
     // Capacity-1 channels cannot sustain 1 token/cycle: expect ~2n.
-    assert!(cycles >= 2 * n as u64 - 8, "expected halved throughput, got {cycles}");
+    assert!(
+        cycles >= 2 * n as u64 - 8,
+        "expected halved throughput, got {cycles}"
+    );
 }
 
 #[test]
@@ -93,9 +103,14 @@ fn accumulator_with_dump_control() {
     nl.output("sum", sum);
     let mut array = Array::xpp64a();
     let cfg = array.configure(&nl.build().unwrap()).unwrap();
-    array.push_input(cfg, "x", words([1, 2, 3, 4, 10, 20, 30, 40])).unwrap();
+    array
+        .push_input(cfg, "x", words([1, 2, 3, 4, 10, 20, 30, 40]))
+        .unwrap();
     array.run_until_idle(1_000).unwrap();
-    assert_eq!(values(&array.drain_output(cfg, "sum").unwrap()), vec![10, 100]);
+    assert_eq!(
+        values(&array.drain_output(cfg, "sum").unwrap()),
+        vec![10, 100]
+    );
 }
 
 #[test]
@@ -111,7 +126,10 @@ fn feedback_accumulator_with_initial_token() {
     let cfg = array.configure(&nl.build().unwrap()).unwrap();
     array.push_input(cfg, "x", words([1, 2, 3, 4])).unwrap();
     array.run_until_idle(1_000).unwrap();
-    assert_eq!(values(&array.drain_output(cfg, "y").unwrap()), vec![1, 3, 6, 10]);
+    assert_eq!(
+        values(&array.drain_output(cfg, "y").unwrap()),
+        vec![1, 3, 6, 10]
+    );
 }
 
 #[test]
@@ -146,7 +164,10 @@ fn gated_counter_bursts_on_go() {
     assert!(array.drain_output(cfg, "v").unwrap().is_empty());
     array.push_input_events(cfg, "go", [true]).unwrap();
     array.run_until_idle(1_000).unwrap();
-    assert_eq!(values(&array.drain_output(cfg, "v").unwrap()), vec![0, 1, 2, 3]);
+    assert_eq!(
+        values(&array.drain_output(cfg, "v").unwrap()),
+        vec![0, 1, 2, 3]
+    );
     array.push_input_events(cfg, "go", [true, true]).unwrap();
     array.run_until_idle(1_000).unwrap();
     assert_eq!(array.drain_output(cfg, "v").unwrap().len(), 8);
@@ -164,9 +185,14 @@ fn demux_decimates_and_discards() {
     nl.output("y", keep);
     let mut array = Array::xpp64a();
     let cfg = array.configure(&nl.build().unwrap()).unwrap();
-    array.push_input(cfg, "x", words([10, 11, 12, 13, 14, 15])).unwrap();
+    array
+        .push_input(cfg, "x", words([10, 11, 12, 13, 14, 15]))
+        .unwrap();
     array.run_until_idle(1_000).unwrap();
-    assert_eq!(values(&array.drain_output(cfg, "y").unwrap()), vec![10, 12, 14]);
+    assert_eq!(
+        values(&array.drain_output(cfg, "y").unwrap()),
+        vec![10, 12, 14]
+    );
 }
 
 #[test]
@@ -184,7 +210,10 @@ fn merge_selects_between_streams() {
     array.push_input(cfg, "b", words([100, 200, 300])).unwrap();
     array.run_until_idle(1_000).unwrap();
     // sel alternates 0,1,0,1,... → a,b,a,b,...
-    assert_eq!(values(&array.drain_output(cfg, "y").unwrap()), vec![1, 100, 2, 200, 3, 300]);
+    assert_eq!(
+        values(&array.drain_output(cfg, "y").unwrap()),
+        vec![1, 100, 2, 200, 3, 300]
+    );
 }
 
 #[test]
@@ -215,9 +244,14 @@ fn ring_fifo_recirculates_lookup_table() {
     nl.output("y", y);
     let mut array = Array::xpp64a();
     let cfg = array.configure(&nl.build().unwrap()).unwrap();
-    array.push_input(cfg, "x", words([0, 0, 0, 0, 0, 0, 0])).unwrap();
+    array
+        .push_input(cfg, "x", words([0, 0, 0, 0, 0, 0, 0]))
+        .unwrap();
     array.run_until_idle(1_000).unwrap();
-    assert_eq!(values(&array.drain_output(cfg, "y").unwrap()), vec![5, 6, 7, 5, 6, 7, 5]);
+    assert_eq!(
+        values(&array.drain_output(cfg, "y").unwrap()),
+        vec![5, 6, 7, 5, 6, 7, 5]
+    );
 }
 
 #[test]
@@ -231,7 +265,10 @@ fn ram_read_only_lookup() {
     let cfg = array.configure(&nl.build().unwrap()).unwrap();
     array.push_input(cfg, "addr", words([3, 0, 2])).unwrap();
     array.run_until_idle(1_000).unwrap();
-    assert_eq!(values(&array.drain_output(cfg, "q").unwrap()), vec![103, 100, 102]);
+    assert_eq!(
+        values(&array.drain_output(cfg, "q").unwrap()),
+        vec![103, 100, 102]
+    );
 }
 
 #[test]
@@ -273,10 +310,15 @@ fn ram_based_multibank_accumulator() {
     nl.output("y", sum);
     let mut array = Array::xpp64a();
     let cfg = array.configure(&nl.build().unwrap()).unwrap();
-    array.push_input(cfg, "x", words([1, 10, 2, 20, 3, 30])).unwrap();
+    array
+        .push_input(cfg, "x", words([1, 10, 2, 20, 3, 30]))
+        .unwrap();
     array.run_until_idle(2_000).unwrap();
     // Bank0 sums 1,2,3 → 1,3,6; bank1 sums 10,20,30 → 10,30,60; interleaved.
-    assert_eq!(values(&array.drain_output(cfg, "y").unwrap()), vec![1, 10, 3, 30, 6, 60]);
+    assert_eq!(
+        values(&array.drain_output(cfg, "y").unwrap()),
+        vec![1, 10, 3, 30, 6, 60]
+    );
 }
 
 #[test]
@@ -327,7 +369,10 @@ fn loading_takes_config_bus_cycles() {
     array.run(1);
     assert!(array.is_running(cfg));
     assert_eq!(array.stats().configs_loaded, 1);
-    assert_eq!(array.stats().config_cycles, objects * CONFIG_CYCLES_PER_OBJECT);
+    assert_eq!(
+        array.stats().config_cycles,
+        objects * CONFIG_CYCLES_PER_OBJECT
+    );
 }
 
 #[test]
@@ -390,8 +435,14 @@ fn stale_config_ids_are_rejected() {
     let cfg = array.configure(&averager()).unwrap();
     array.unload(cfg).unwrap();
     assert!(matches!(array.unload(cfg), Err(Error::NoSuchConfig(_))));
-    assert!(matches!(array.push_input(cfg, "a", words([1])), Err(Error::NoSuchConfig(_))));
-    assert!(matches!(array.drain_output(cfg, "y"), Err(Error::NoSuchConfig(_))));
+    assert!(matches!(
+        array.push_input(cfg, "a", words([1])),
+        Err(Error::NoSuchConfig(_))
+    ));
+    assert!(matches!(
+        array.drain_output(cfg, "y"),
+        Err(Error::NoSuchConfig(_))
+    ));
     assert!(matches!(array.placement(cfg), Err(Error::NoSuchConfig(_))));
 }
 
@@ -399,9 +450,15 @@ fn stale_config_ids_are_rejected() {
 fn unknown_ports_are_rejected() {
     let mut array = Array::xpp64a();
     let cfg = array.configure(&averager()).unwrap();
-    assert!(matches!(array.push_input(cfg, "nope", words([1])), Err(Error::UnknownPort(_))));
+    assert!(matches!(
+        array.push_input(cfg, "nope", words([1])),
+        Err(Error::UnknownPort(_))
+    ));
     // Direction mismatch is also an unknown port.
-    assert!(matches!(array.drain_output(cfg, "a"), Err(Error::UnknownPort(_))));
+    assert!(matches!(
+        array.drain_output(cfg, "a"),
+        Err(Error::UnknownPort(_))
+    ));
 }
 
 #[test]
@@ -422,7 +479,10 @@ fn cross_config_connection_streams_tokens() {
     array.connect(c1, "y", c2, "x").unwrap();
     array.push_input(c1, "x", words([1, 2, 3])).unwrap();
     array.run_until_idle(1_000).unwrap();
-    assert_eq!(values(&array.drain_output(c2, "y").unwrap()), vec![103, 106, 109]);
+    assert_eq!(
+        values(&array.drain_output(c2, "y").unwrap()),
+        vec![103, 106, 109]
+    );
 }
 
 #[test]
@@ -443,7 +503,10 @@ fn run_until_idle_times_out_on_livelock() {
     nl.output("v", c.value);
     let mut array = Array::xpp64a();
     let _ = array.configure(&nl.build().unwrap()).unwrap();
-    assert!(matches!(array.run_until_idle(500), Err(Error::Timeout { budget: 500 })));
+    assert!(matches!(
+        array.run_until_idle(500),
+        Err(Error::Timeout { budget: 500 })
+    ));
 }
 
 #[test]

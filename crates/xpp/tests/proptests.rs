@@ -137,7 +137,7 @@ proptest! {
         nl.output("y", y);
         let mut array = Array::xpp64a();
         let cfg = array.configure(&nl.build().unwrap()).unwrap();
-        array.push_input(cfg, "x", std::iter::repeat(Word::ZERO).take(n)).unwrap();
+        array.push_input(cfg, "x", std::iter::repeat_n(Word::ZERO, n)).unwrap();
         array.run_until_idle(100_000).unwrap();
         let got: Vec<i32> = array.drain_output(cfg, "y").unwrap().iter().map(|w| w.value()).collect();
         let expected: Vec<i32> = (0..n).map(|i| pattern[i % pattern.len()]).collect();

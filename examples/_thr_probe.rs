@@ -1,10 +1,12 @@
+use sdr_dsp::metrics::BerCounter;
 use sdr_ofdm::channel::WlanChannel;
 use sdr_ofdm::params::RATES;
 use sdr_ofdm::rx::OfdmReceiver;
 use sdr_ofdm::tx::Transmitter;
-use sdr_dsp::metrics::BerCounter;
 
-fn psdu(n: usize) -> Vec<u8> { (0..n).map(|i| ((i*29+i/7+1)%2) as u8).collect() }
+fn psdu(n: usize) -> Vec<u8> {
+    (0..n).map(|i| ((i * 29 + i / 7 + 1) % 2) as u8).collect()
+}
 
 fn main() {
     for gain in [128.0f64, 200.0, 300.0] {
@@ -12,7 +14,10 @@ fn main() {
         for r in RATES {
             let bits = psdu(3 * r.data_bits_per_symbol());
             let frame = Transmitter::new(r).transmit(&bits);
-            let ch = WlanChannel { adc_gain: gain, ..Default::default() };
+            let ch = WlanChannel {
+                adc_gain: gain,
+                ..Default::default()
+            };
             let rx = ch.run(&frame.samples);
             match OfdmReceiver::new(r).receive(&rx, bits.len()) {
                 Ok(out) => {

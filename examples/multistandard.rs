@@ -4,8 +4,8 @@
 //! Run with: `cargo run --release --example multistandard`
 
 use xpp_sdr::dsp::Cplx;
-use xpp_sdr::ofdm::params::rate;
 use xpp_sdr::ofdm::channel::WlanChannel;
+use xpp_sdr::ofdm::params::rate;
 use xpp_sdr::ofdm::tx::Transmitter;
 use xpp_sdr::ofdm::xpp_map::ReconfigurableFrontend;
 use xpp_sdr::platform::scheduler::{schedule_edf, Job};
@@ -23,7 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let r = rate(12).expect("standard rate");
     let bits: Vec<u8> = (0..96).map(|i| (i % 2) as u8).collect();
     let frame = Transmitter::new(r).transmit(&bits);
-    let rx20 = WlanChannel { leading_gap: 64, ..Default::default() }.run(&frame.samples);
+    let rx20 = WlanChannel {
+        leading_gap: 64,
+        ..Default::default()
+    }
+    .run(&frame.samples);
     let mut rx40 = Vec::with_capacity(rx20.len() * 2);
     for s in &rx20 {
         rx40.push(*s);
@@ -31,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let metric = fe.search(&rx40[..rx40.len().min(3000)])?;
     let peak = *metric.iter().max().expect("metric nonempty");
-    let hit = metric.iter().position(|&m| m > peak / 2).expect("preamble present");
+    let hit = metric
+        .iter()
+        .position(|&m| m > peak / 2)
+        .expect("preamble present");
     println!("preamble detected at downsampled index {hit} (metric peak {peak})");
 
     fe.switch_to_demodulation()?;
@@ -41,11 +48,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Demodulate some derotated symbols through 2b.
-    let symbols: Vec<Cplx<i32>> =
-        (0..48).map(|k| Cplx::new(if k % 2 == 0 { 900 } else { -900 }, 300)).collect();
+    let symbols: Vec<Cplx<i32>> = (0..48)
+        .map(|k| Cplx::new(if k % 2 == 0 { 900 } else { -900 }, 300))
+        .collect();
     let weights = vec![Cplx::new(512, 0); 48];
     let bits2b = fe.demodulate(&symbols, &weights)?;
-    println!("2b demodulated 48 subcarriers; first pairs: {:?}", &bits2b[..4]);
+    println!(
+        "2b demodulated 48 subcarriers; first pairs: {:?}",
+        &bits2b[..4]
+    );
 
     // ---- Fig. 11: time-sliced scheduling ------------------------------
     let platform = SdrPlatform::evaluation_board();

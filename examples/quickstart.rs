@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Load it onto the array; loading takes configuration-bus cycles.
     let mut array = Array::xpp64a();
     let cfg = array.configure(&nl.build()?)?;
-    println!("configuration {cfg} placed: {:?}", array.placement(cfg)?.counts);
+    println!(
+        "configuration {cfg} placed: {:?}",
+        array.placement(cfg)?.counts
+    );
 
     // Stream 32 samples (4 blocks of 8) and run to quiescence.
     array.push_input(cfg, "x", (1..=32).map(Word::new))?;

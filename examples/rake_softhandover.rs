@@ -28,7 +28,10 @@ fn main() {
     let mut signals = Vec::new();
     let mut codes = Vec::new();
     for cell in 0..6u32 {
-        let cfg = CellConfig { scrambling_code: cell * 16, ..Default::default() };
+        let cfg = CellConfig {
+            scrambling_code: cell * 16,
+            ..Default::default()
+        };
         let mut tx = CellTransmitter::new(cfg);
         let gain = 0.30 - 0.02 * cell as f64;
         let link = CellLink::new(vec![
@@ -45,7 +48,11 @@ fn main() {
     let rake = RakeReceiver::new(
         codes,
         RakeConfig {
-            searcher: PathSearcher { window: 64, max_paths: 3, ..Default::default() },
+            searcher: PathSearcher {
+                window: 64,
+                max_paths: 3,
+                ..Default::default()
+            },
             ..Default::default()
         },
     );
@@ -61,5 +68,10 @@ fn main() {
     let n = bits.len().min(out.bits.len());
     let mut ber = BerCounter::new();
     ber.update(&bits[..n], &out.bits[..n]);
-    println!("decoded {} bits, BER = {:.5} ({} errors)", n, ber.ber(), ber.errors());
+    println!(
+        "decoded {} bits, BER = {:.5} ({} errors)",
+        n,
+        ber.ber(),
+        ber.errors()
+    );
 }

@@ -7,7 +7,9 @@
 //! * [`xpp`] — the coarse-grained reconfigurable array (CGRA) simulator,
 //! * [`wcdma`] — the UMTS/W-CDMA substrate and rake receiver,
 //! * [`ofdm`] — the IEEE 802.11a / HiperLAN-2 substrate and OFDM receiver,
-//! * [`platform`] — the heterogeneous SDR platform (the paper's contribution).
+//! * [`platform`] — the heterogeneous SDR platform (the paper's contribution),
+//! * [`engine`] — the multi-terminal baseband engine (sharded workers,
+//!   configuration caches, runtime reconfiguration at scale).
 //!
 //! # Example
 //!
@@ -34,6 +36,7 @@
 
 pub use sdr_core as platform;
 pub use sdr_dsp as dsp;
+pub use sdr_engine as engine;
 pub use sdr_ofdm as ofdm;
 pub use sdr_wcdma as wcdma;
 pub use xpp_array as xpp;

@@ -2,7 +2,6 @@
 //! word-level kernels run on the simulated array instead of the golden
 //! software models.
 
-use xpp_sdr::dsp::metrics::BerCounter;
 use xpp_sdr::dsp::Cplx;
 use xpp_sdr::ofdm;
 use xpp_sdr::wcdma;
@@ -106,10 +105,10 @@ fn both_standards_share_one_array() {
         .push_input(rake_cfg, "w_addr", (0..4).map(Word::new))
         .unwrap();
     array
-        .push_input(rake_cfg, "wi", std::iter::repeat(Word::new(512)).take(4))
+        .push_input(rake_cfg, "wi", std::iter::repeat_n(Word::new(512), 4))
         .unwrap();
     array
-        .push_input(rake_cfg, "wq", std::iter::repeat(Word::ZERO).take(4))
+        .push_input(rake_cfg, "wq", std::iter::repeat_n(Word::ZERO, 4))
         .unwrap();
 
     // Feed both standards' streams and run once.
@@ -120,7 +119,9 @@ fn both_standards_share_one_array() {
     array
         .push_input(rake_cfg, "q_in", rake_syms.iter().map(|c| Word::new(c.im)))
         .unwrap();
-    let wlan_syms: Vec<Cplx<i32>> = (0..8).map(|k| Cplx::new(if k % 2 == 0 { 800 } else { -800 }, 100)).collect();
+    let wlan_syms: Vec<Cplx<i32>> = (0..8)
+        .map(|k| Cplx::new(if k % 2 == 0 { 800 } else { -800 }, 100))
+        .collect();
     array
         .push_input(wlan_cfg, "i_in", wlan_syms.iter().map(|c| Word::new(c.re)))
         .unwrap();
@@ -128,10 +129,10 @@ fn both_standards_share_one_array() {
         .push_input(wlan_cfg, "q_in", wlan_syms.iter().map(|c| Word::new(c.im)))
         .unwrap();
     array
-        .push_input(wlan_cfg, "wi", std::iter::repeat(Word::new(512)).take(8))
+        .push_input(wlan_cfg, "wi", std::iter::repeat_n(Word::new(512), 8))
         .unwrap();
     array
-        .push_input(wlan_cfg, "wq", std::iter::repeat(Word::ZERO).take(8))
+        .push_input(wlan_cfg, "wq", std::iter::repeat_n(Word::ZERO, 8))
         .unwrap();
     array.run_until_idle(50_000).unwrap();
 

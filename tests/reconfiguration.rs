@@ -22,7 +22,11 @@ fn fig10_scenario_with_a_real_frame() {
     let r = rate(12).expect("standard rate");
     let bits: Vec<u8> = (0..96).map(|i| ((i * 3 + 1) % 2) as u8).collect();
     let frame = Transmitter::new(r).transmit(&bits);
-    let rx20 = WlanChannel { leading_gap: 72, ..Default::default() }.run(&frame.samples);
+    let rx20 = WlanChannel {
+        leading_gap: 72,
+        ..Default::default()
+    }
+    .run(&frame.samples);
     // 40 Msps ADC stream (sample-and-hold 2x).
     let mut rx40 = Vec::with_capacity(rx20.len() * 2);
     for s in &rx20 {
@@ -37,7 +41,10 @@ fn fig10_scenario_with_a_real_frame() {
     let ds = downsample2(&rx40);
     let sw_detect = OfdmReceiver::new(r).detect(&ds).expect("sw detect");
     let peak = *metric.iter().max().expect("nonempty");
-    let hw_detect = metric.iter().position(|&m| m > peak / 2).expect("hw detect");
+    let hw_detect = metric
+        .iter()
+        .position(|&m| m > peak / 2)
+        .expect("hw detect");
     assert!(
         hw_detect.abs_diff(sw_detect) <= 16,
         "hw {hw_detect} vs sw {sw_detect} detection mismatch"
@@ -93,8 +100,13 @@ fn tracker_keeps_the_rake_locked_across_drift() {
         propagate(&[(signal, link)], 0.03, seed, AdcConfig::default())
     };
 
-    let mut tracker =
-        PathTracker::new(&[PathHit { delay: 8, energy: 0 }], PathSearcher::default());
+    let mut tracker = PathTracker::new(
+        &[PathHit {
+            delay: 8,
+            energy: 0,
+        }],
+        PathSearcher::default(),
+    );
 
     // Slots 0-1 at delay 8; slots 2-4 at delay 9 (terminal motion). The
     // hysteresis (2 votes) means the tracker lags one slot behind a sudden
@@ -111,7 +123,11 @@ fn tracker_keeps_the_rake_locked_across_drift() {
             let out = finger(&rx, &code, tracked, cfg.dpch.sf, cfg.dpch.code_index, w);
             let soft: Vec<Cplx<i64>> = out.iter().map(|s| s.widen()).collect();
             let decided = decide(&soft);
-            assert_eq!(&decided[..bits.len()], &bits[..], "slot {i} at delay {delay}");
+            assert_eq!(
+                &decided[..bits.len()],
+                &bits[..],
+                "slot {i} at delay {delay}"
+            );
             checked += 1;
         }
     }
