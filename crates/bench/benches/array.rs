@@ -1,0 +1,167 @@
+//! Raw array-stepping throughput: how many simulated cycles per second
+//! `Array::step` sustains on a loaded basestation-worker array (a resident
+//! FFT64 plus an 8-finger multiplexed despreader).
+//!
+//! Two workload shapes, each measured on the event-driven scheduler and on
+//! the retained scan-the-world reference stepper:
+//!
+//! * `saturated` — input queues never run dry, every object fires as often
+//!   as the token handshake allows. This is the worst case for scheduling
+//!   (nothing to skip) and bounds the per-fire overhead.
+//! * `rate_matched` — data arrives at the over-the-air rate while the array
+//!   clock runs free, the regime the paper's terminals actually operate in
+//!   (an XPP clocked at tens of MHz against 3.84 Mcps W-CDMA chips and
+//!   250 kbaud OFDM symbols spends most cycles waiting for data). Idle
+//!   cycles cost the scheduler almost nothing but cost the scan the full
+//!   object sweep.
+//!
+//! The ratios are recorded in `BENCH_ARRAY.json` and EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sdr_ofdm::xpp_map::fft64_netlist;
+use sdr_wcdma::xpp_map::despreader_multiplexed_netlist;
+use xpp_array::{Array, ConfigId, Word};
+
+/// Cycles stepped per measured iteration (both workload shapes).
+pub const CYCLES: u64 = 20_000;
+
+/// Rate-matched shape: bursts per iteration and array cycles per burst.
+const SLOTS: u64 = 5;
+const SLOT_CYCLES: u64 = CYCLES / SLOTS;
+
+fn stream(seed: i32, n: i32) -> impl Iterator<Item = Word> {
+    (0..n).map(move |i| Word::new(((i * 131 + seed * 7) % 4096) - 2048))
+}
+
+/// Builds an array with both workload configurations resident and fully
+/// loaded (configuration-bus phase finished), but no data queued.
+fn loaded_array() -> (Array, ConfigId, ConfigId) {
+    let mut array = Array::xpp64a();
+    let fft = array.configure(&fft64_netlist(2)).expect("fft64 placement");
+    let dsp = array
+        .configure(&despreader_multiplexed_netlist(8, 32))
+        .expect("despreader placement");
+    while !(array.is_running(fft) && array.is_running(dsp)) {
+        array.step();
+    }
+    (array, fft, dsp)
+}
+
+/// Queues enough tokens on every input port to keep the array busy for the
+/// whole measured window.
+fn saturated_array() -> Array {
+    let (mut array, fft, dsp) = loaded_array();
+    array
+        .push_input(fft, "i_in", stream(1, 28_000))
+        .expect("fft i_in");
+    array
+        .push_input(fft, "q_in", stream(2, 28_000))
+        .expect("fft q_in");
+    array
+        .push_input(dsp, "i_in", stream(3, 28_000))
+        .expect("dsp i_in");
+    array
+        .push_input(dsp, "q_in", stream(4, 28_000))
+        .expect("dsp q_in");
+    array
+}
+
+/// One measured iteration of the rate-matched shape: per slot, a chip burst
+/// for the despreader and one OFDM symbol for the FFT, then a fixed slot's
+/// worth of array cycles (the real-time clock keeps ticking whether or not
+/// data is present).
+fn run_rate_matched(mut array: Array, fft: ConfigId, dsp: ConfigId) -> xpp_array::ArrayStats {
+    for slot in 0..SLOTS {
+        let seed = slot as i32;
+        array
+            .push_input(dsp, "i_in", stream(seed, 128))
+            .expect("dsp i_in");
+        array
+            .push_input(dsp, "q_in", stream(seed + 7, 128))
+            .expect("dsp q_in");
+        array
+            .push_input(fft, "i_in", stream(seed + 13, 64))
+            .expect("fft i_in");
+        array
+            .push_input(fft, "q_in", stream(seed + 29, 64))
+            .expect("fft q_in");
+        array.run(SLOT_CYCLES);
+    }
+    array.stats()
+}
+
+fn bench_array_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("array_step");
+    g.bench_function("event_driven_saturated", |b| {
+        b.iter_batched(
+            saturated_array,
+            |mut a| {
+                a.run(CYCLES);
+                a.stats()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("reference_saturated", |b| {
+        b.iter_batched(
+            || xpp_array::array::with_reference_stepper(saturated_array),
+            |mut a| {
+                a.run(CYCLES);
+                a.stats()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("event_driven_rate_matched", |b| {
+        b.iter_batched(
+            loaded_array,
+            |(a, fft, dsp)| run_rate_matched(a, fft, dsp),
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("reference_rate_matched", |b| {
+        b.iter_batched(
+            || xpp_array::array::with_reference_stepper(loaded_array),
+            |(a, fft, dsp)| run_rate_matched(a, fft, dsp),
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+/// Not a measurement: asserts the two steppers produce identical stats on
+/// both workload shapes, so the speedup numbers always compare like for
+/// like.
+fn bench_sanity(c: &mut Criterion) {
+    c.bench_function("array_step/equivalence_check", |b| {
+        b.iter_batched(
+            || {
+                (
+                    saturated_array(),
+                    xpp_array::array::with_reference_stepper(saturated_array),
+                    loaded_array(),
+                    xpp_array::array::with_reference_stepper(loaded_array),
+                )
+            },
+            |(mut fast, mut slow, burst_fast, burst_slow)| {
+                fast.run(CYCLES);
+                slow.run(CYCLES);
+                assert_eq!(fast.stats(), slow.stats());
+                let (a, fft, dsp) = burst_fast;
+                let (b2, fft2, dsp2) = burst_slow;
+                assert_eq!(
+                    run_rate_matched(a, fft, dsp),
+                    run_rate_matched(b2, fft2, dsp2)
+                );
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = array_benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_array_step, bench_sanity
+}
+criterion_main!(array_benches);

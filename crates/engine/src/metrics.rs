@@ -85,6 +85,10 @@ pub struct Metrics {
     kernel_cycles: [AtomicU64; KERNEL_KINDS],
     /// Jobs per kernel class.
     kernel_jobs: [AtomicU64; KERNEL_KINDS],
+    /// Object fires per kernel class (the array's per-configuration fire
+    /// counters, so cycles ÷ fires exposes each kernel's datapath
+    /// occupancy).
+    kernel_fires: [AtomicU64; KERNEL_KINDS],
 }
 
 impl Metrics {
@@ -108,10 +112,12 @@ impl Metrics {
         counter.fetch_max(value, Ordering::Relaxed);
     }
 
-    /// Records one kernel job and its measured array cycles.
-    pub fn record_kernel(&self, kind: KernelKind, cycles: u64) {
+    /// Records one kernel job: its measured array cycles and the object
+    /// fires its configuration performed.
+    pub fn record_kernel(&self, kind: KernelKind, cycles: u64, fires: u64) {
         self.kernel_jobs[kind.index()].fetch_add(1, Ordering::Relaxed);
         self.kernel_cycles[kind.index()].fetch_add(cycles, Ordering::Relaxed);
+        self.kernel_fires[kind.index()].fetch_add(fires, Ordering::Relaxed);
     }
 
     /// Takes a point-in-time snapshot of every counter.
@@ -131,6 +137,7 @@ impl Metrics {
             config_bus_cycles: load(&self.config_bus_cycles),
             kernel_cycles: std::array::from_fn(|i| load(&self.kernel_cycles[i])),
             kernel_jobs: std::array::from_fn(|i| load(&self.kernel_jobs[i])),
+            kernel_fires: std::array::from_fn(|i| load(&self.kernel_fires[i])),
         }
     }
 }
@@ -164,6 +171,8 @@ pub struct Snapshot {
     pub kernel_cycles: [u64; KERNEL_KINDS],
     /// Jobs per kernel class (indexed by [`KernelKind::index`]).
     pub kernel_jobs: [u64; KERNEL_KINDS],
+    /// Object fires per kernel class (indexed by [`KernelKind::index`]).
+    pub kernel_fires: [u64; KERNEL_KINDS],
 }
 
 impl Snapshot {
@@ -180,6 +189,11 @@ impl Snapshot {
     /// Total array cycles across all kernel classes.
     pub fn total_kernel_cycles(&self) -> u64 {
         self.kernel_cycles.iter().sum()
+    }
+
+    /// Total object fires across all kernel classes.
+    pub fn total_kernel_fires(&self) -> u64 {
+        self.kernel_fires.iter().sum()
     }
 }
 
@@ -214,10 +228,11 @@ impl fmt::Display for Snapshot {
             let i = kind.index();
             writeln!(
                 f,
-                "    {:<24} jobs {:>8}  array cycles {:>12}",
+                "    {:<24} jobs {:>8}  array cycles {:>12}  fires {:>12}",
                 kind.name(),
                 self.kernel_jobs[i],
-                self.kernel_cycles[i]
+                self.kernel_cycles[i],
+                self.kernel_fires[i]
             )?;
         }
         Ok(())
@@ -233,14 +248,16 @@ mod tests {
         let m = Metrics::new();
         Metrics::incr(&m.sessions_started);
         Metrics::add(&m.jobs_run, 5);
-        m.record_kernel(KernelKind::Despreader, 123);
-        m.record_kernel(KernelKind::Despreader, 77);
+        m.record_kernel(KernelKind::Despreader, 123, 40);
+        m.record_kernel(KernelKind::Despreader, 77, 9);
         let s = m.snapshot();
         assert_eq!(s.sessions_started, 1);
         assert_eq!(s.jobs_run, 5);
         assert_eq!(s.kernel_jobs[KernelKind::Despreader.index()], 2);
         assert_eq!(s.kernel_cycles[KernelKind::Despreader.index()], 200);
+        assert_eq!(s.kernel_fires[KernelKind::Despreader.index()], 49);
         assert_eq!(s.total_kernel_cycles(), 200);
+        assert_eq!(s.total_kernel_fires(), 49);
     }
 
     #[test]

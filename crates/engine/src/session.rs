@@ -431,6 +431,7 @@ fn run_descrambler(
 ) -> XppResult<Vec<Cplx<i32>>> {
     let cfg = worker.activate("fig5-descrambler", wcdma::xpp_map::descrambler_netlist)?;
     let before = worker.array().stats().cycles;
+    let fires_before = worker.array().config_fire_count(cfg);
     let (i, q) = split_iq(&rx[delay..delay + n]);
     let bits: Vec<(u8, u8)> = (0..n).map(|k| code.chip_bits(k)).collect();
     let array = worker.array_mut();
@@ -443,9 +444,10 @@ fn run_descrambler(
     let i_out = array.drain_output(cfg, "i_out")?;
     let q_out = array.drain_output(cfg, "q_out")?;
     let cycles = worker.array().stats().cycles - before;
+    let fires = worker.array().config_fire_count(cfg) - fires_before;
     worker
         .metrics()
-        .record_kernel(KernelKind::Descrambler, cycles);
+        .record_kernel(KernelKind::Descrambler, cycles, fires);
     Ok(zip_iq(&i_out, &q_out))
 }
 
@@ -463,6 +465,7 @@ fn run_despreader(
         wcdma::xpp_map::despreader_single_netlist(sf, code_index)
     })?;
     let before = worker.array().stats().cycles;
+    let fires_before = worker.array().config_fire_count(cfg);
     let n_sym = chips.len() / sf;
     let (i, q) = split_iq(&chips[..n_sym * sf]);
     let array = worker.array_mut();
@@ -473,9 +476,10 @@ fn run_despreader(
     let i_out = array.drain_output(cfg, "i_out")?;
     let q_out = array.drain_output(cfg, "q_out")?;
     let cycles = worker.array().stats().cycles - before;
+    let fires = worker.array().config_fire_count(cfg) - fires_before;
     worker
         .metrics()
-        .record_kernel(KernelKind::Despreader, cycles);
+        .record_kernel(KernelKind::Despreader, cycles, fires);
     Ok(zip_iq(&i_out, &q_out))
 }
 
@@ -486,6 +490,7 @@ fn run_preamble_detector(worker: &mut WorkerArray, rx: &[Cplx<i32>]) -> XppResul
         ofdm::xpp_map::preamble_detector_netlist,
     )?;
     let before = worker.array().stats().cycles;
+    let fires_before = worker.array().config_fire_count(cfg);
     // A resident detector keeps the previous terminal's tail in its delay
     // lines and running sum. Streaming lag+window zero samples (idle air)
     // drains that history exactly — the window sum of 32 zero products is
@@ -501,9 +506,10 @@ fn run_preamble_detector(worker: &mut WorkerArray, rx: &[Cplx<i32>]) -> XppResul
     array.run_until_idle(5_000)?;
     let metric = array.drain_output(cfg, "metric")?;
     let cycles = worker.array().stats().cycles - before;
+    let fires = worker.array().config_fire_count(cfg) - fires_before;
     worker
         .metrics()
-        .record_kernel(KernelKind::PreambleDetector, cycles);
+        .record_kernel(KernelKind::PreambleDetector, cycles, fires);
     Ok(metric.iter().skip(flush).map(|w| w.value()).collect())
 }
 
@@ -515,6 +521,7 @@ fn run_demodulator(
 ) -> XppResult<Vec<(u8, u8)>> {
     assert_eq!(carriers.len(), weights.len(), "one weight per carrier");
     let before = worker.array().stats().cycles;
+    let fires_before = worker.array().config_fire_count(cfg);
     let n = carriers.len();
     let (i, q) = split_iq(carriers);
     let (wi, wq) = split_iq(weights);
@@ -528,9 +535,10 @@ fn run_demodulator(
     let b0 = array.drain_output(cfg, "b0")?;
     let b1 = array.drain_output(cfg, "b1")?;
     let cycles = worker.array().stats().cycles - before;
+    let fires = worker.array().config_fire_count(cfg) - fires_before;
     worker
         .metrics()
-        .record_kernel(KernelKind::Demodulator, cycles);
+        .record_kernel(KernelKind::Demodulator, cycles, fires);
     Ok(b0
         .iter()
         .zip(&b1)

@@ -9,8 +9,22 @@
 //! configuration manager enforces the paper's protection rule —
 //! "configurations cannot be overwritten illegally" — because resources held
 //! by a resident configuration are never handed to another one.
+//!
+//! # Event-driven stepping
+//!
+//! Because objects fire only when a token arrives or output space frees up,
+//! the simulator schedules work instead of scanning it: a [`Scheduler`] keeps
+//! a ready list of objects whose adjacent channels moved tokens last cycle
+//! (plus any object touched by external I/O or a configuration load), and the
+//! commit phase walks only the channels that actually staged movement. Fire
+//! decisions depend solely on committed start-of-cycle channel state, so
+//! restricting the fire scan to woken objects is exact, not heuristic: an
+//! unwoken object could not have fired anyway. The original scan-the-world
+//! stepper is retained behind the `reference` feature (and in tests) as the
+//! semantic oracle; both steppers share [`fire_object`], so they can only
+//! differ in *which* objects they visit, never in what firing does.
 
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
 
 use crate::channel::Channel;
@@ -24,6 +38,29 @@ use crate::word::{Event, Word};
 /// Configuration-bus cost: cycles needed to load one object's configuration
 /// words.
 pub const CONFIG_CYCLES_PER_OBJECT: u64 = 3;
+
+#[cfg(any(test, feature = "reference"))]
+thread_local! {
+    static FORCE_REFERENCE: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Runs `f` with every [`Array`] constructed inside it fixed to the retained
+/// scan-the-world reference stepper (the pre-event-driven semantics oracle).
+///
+/// The stepping mode is latched at construction and never changes for the
+/// lifetime of an array, so arrays built by nested helpers (e.g. the kernel
+/// wrappers in the receiver crates) are covered too.
+#[cfg(any(test, feature = "reference"))]
+pub fn with_reference_stepper<T>(f: impl FnOnce() -> T) -> T {
+    struct Reset(bool);
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            FORCE_REFERENCE.with(|c| c.set(self.0));
+        }
+    }
+    let _reset = Reset(FORCE_REFERENCE.with(|c| c.replace(true)));
+    f()
+}
 
 /// Handle to a loaded configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -80,26 +117,96 @@ enum ObjState {
     ExtOutEv(Vec<bool>),
 }
 
+/// Inline fan-out list of channel indices for one output port. Fan-out
+/// beyond the inline capacity spills to the heap; netlists rarely need it.
+#[derive(Debug, Default)]
+struct PortList {
+    inline: [u32; 4],
+    len: u8,
+    spill: Vec<u32>,
+}
+
+impl PortList {
+    fn from_chans(chans: Vec<usize>) -> Self {
+        let mut list = PortList::default();
+        if chans.len() <= list.inline.len() {
+            for (i, c) in chans.iter().enumerate() {
+                list.inline[i] = *c as u32;
+            }
+            list.len = chans.len() as u8;
+        } else {
+            list.spill = chans.into_iter().map(|c| c as u32).collect();
+        }
+        list
+    }
+
+    #[inline]
+    fn chans(&self) -> &[u32] {
+        if self.spill.is_empty() {
+            &self.inline[..self.len as usize]
+        } else {
+            &self.spill
+        }
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.len == 0 && self.spill.is_empty()
+    }
+}
+
 #[derive(Debug)]
 struct RuntimeObject {
-    config: u32,
     kind: ObjectKind,
     label: String,
     state: ObjState,
+    /// Lifetime fire count; `config_fire_count` aggregates these lazily
+    /// instead of a per-fire `HashMap` update in the hot loop.
     fires: u64,
-    din: Vec<Option<usize>>,
-    dout: Vec<Vec<usize>>,
-    evin: Vec<Option<usize>>,
-    evout: Vec<Vec<usize>>,
+    /// True once the owning configuration finished loading. Replaces the
+    /// per-step set of loading configurations.
+    enabled: bool,
+    /// Input/output channel maps, sized to the widest port shapes so the
+    /// hot loop never chases a heap pointer to find a channel index.
+    din: [Option<u32>; 3],
+    dout: [PortList; 2],
+    evin: [Option<u32>; 2],
+    evout: [PortList; 1],
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct Connection {
     from_obj: usize,
     to_obj: usize,
     event: bool,
     from_cfg: u32,
     to_cfg: u32,
+}
+
+/// Ready-list bookkeeping for the event-driven stepper.
+///
+/// `ready` holds the object slots that may fire next cycle; `queued` dedups
+/// wakes (one entry per slot per cycle); `fire_buf` is the double buffer the
+/// fire phase drains so commits can refill `ready` without reallocating.
+/// Spurious wakes are harmless — a woken object that cannot fire simply
+/// drops off the list — so stale entries surviving an `unload` are safe.
+#[derive(Debug, Default)]
+struct Scheduler {
+    ready: Vec<usize>,
+    fire_buf: Vec<usize>,
+    queued: Vec<bool>,
+}
+
+impl Scheduler {
+    #[inline]
+    fn wake(&mut self, obj: usize) {
+        if let Some(q) = self.queued.get_mut(obj) {
+            if !*q {
+                *q = true;
+                self.ready.push(obj);
+            }
+        }
+    }
 }
 
 /// A simulated XPP reconfigurable processing array.
@@ -132,12 +239,30 @@ pub struct Array {
     objects: Vec<Option<RuntimeObject>>,
     dchans: Vec<Option<Channel<Word>>>,
     echans: Vec<Option<Channel<Event>>>,
+    /// Per data-channel (producer, consumer) object slots, filled at
+    /// configure time — the wake adjacency.
+    d_adj: Vec<(usize, usize)>,
+    /// Per event-channel (producer, consumer) object slots.
+    e_adj: Vec<(usize, usize)>,
     configs: BTreeMap<u32, LoadedConfig>,
     load_queue: VecDeque<u32>,
     connections: Vec<Connection>,
     next_id: u32,
     stats: ArrayStats,
-    config_fires: HashMap<u32, u64>,
+    /// Fire totals of configurations that have been unloaded (live totals
+    /// are aggregated from per-object counters on demand).
+    retired_fires: HashMap<u32, u64>,
+    sched: Scheduler,
+    /// Data channels with staged movement this cycle (commit worklist).
+    dirty_d: Vec<usize>,
+    /// Event channels with staged movement this cycle.
+    dirty_e: Vec<usize>,
+    /// Reusable board-connection move buffers (keep their capacity so the
+    /// steady-state step loop never allocates).
+    board_d: Vec<Word>,
+    board_e: Vec<bool>,
+    #[cfg(any(test, feature = "reference"))]
+    use_reference: bool,
 }
 
 impl Array {
@@ -154,12 +279,21 @@ impl Array {
             objects: Vec::new(),
             dchans: Vec::new(),
             echans: Vec::new(),
+            d_adj: Vec::new(),
+            e_adj: Vec::new(),
             configs: BTreeMap::new(),
             load_queue: VecDeque::new(),
             connections: Vec::new(),
             next_id: 0,
             stats: ArrayStats::new(),
-            config_fires: HashMap::new(),
+            retired_fires: HashMap::new(),
+            sched: Scheduler::default(),
+            dirty_d: Vec::new(),
+            dirty_e: Vec::new(),
+            board_d: Vec::new(),
+            board_e: Vec::new(),
+            #[cfg(any(test, feature = "reference"))]
+            use_reference: FORCE_REFERENCE.with(|c| c.get()),
         }
     }
 
@@ -173,9 +307,38 @@ impl Array {
         self.stats
     }
 
-    /// Firings attributed to one configuration so far.
+    /// True if this array steps with the retained reference (scan-the-world)
+    /// stepper instead of the event-driven scheduler.
+    #[cfg(any(test, feature = "reference"))]
+    pub fn uses_reference_stepper(&self) -> bool {
+        self.use_reference
+    }
+
+    /// Firings attributed to one configuration so far (counts of unloaded
+    /// configurations remain queryable).
     pub fn config_fire_count(&self, cfg: ConfigId) -> u64 {
-        self.config_fires.get(&cfg.0).copied().unwrap_or(0)
+        match self.configs.get(&cfg.0) {
+            Some(loaded) => self.live_fires(loaded),
+            None => self.retired_fires.get(&cfg.0).copied().unwrap_or(0),
+        }
+    }
+
+    /// Fire totals of every resident configuration, aggregated from the
+    /// per-object counters.
+    pub fn fires_by_config(&self) -> Vec<(ConfigId, u64)> {
+        self.configs
+            .iter()
+            .map(|(&id, loaded)| (ConfigId(id), self.live_fires(loaded)))
+            .collect()
+    }
+
+    fn live_fires(&self, loaded: &LoadedConfig) -> u64 {
+        loaded
+            .objects
+            .iter()
+            .filter_map(|&o| self.objects[o].as_ref())
+            .map(|o| o.fires)
+            .sum()
     }
 
     /// Per-object fire counts of a configuration (label, fires) — the
@@ -303,22 +466,32 @@ impl Array {
                 ObjectKind::OutputEvent(_) => ObjState::ExtOutEv(Vec::new()),
                 _ => ObjState::None,
             };
+            let mut din = [None; 3];
+            for (p, slot) in din.iter_mut().enumerate().take(shape.din) {
+                *slot = d_in.get(&(n, p)).map(|&c| c as u32);
+            }
+            let mut dout: [PortList; 2] = Default::default();
+            for (p, list) in dout.iter_mut().enumerate().take(shape.dout) {
+                *list = PortList::from_chans(d_map.get(&(n, p)).cloned().unwrap_or_default());
+            }
+            let mut evin = [None; 2];
+            for (p, slot) in evin.iter_mut().enumerate().take(shape.evin) {
+                *slot = e_in.get(&(n, p)).map(|&c| c as u32);
+            }
+            let mut evout: [PortList; 1] = Default::default();
+            for (p, list) in evout.iter_mut().enumerate().take(shape.evout) {
+                *list = PortList::from_chans(e_map.get(&(n, p)).cloned().unwrap_or_default());
+            }
             let obj = RuntimeObject {
-                config: id,
                 kind: spec.kind.clone(),
                 label: spec.label.clone(),
                 state,
                 fires: 0,
-                din: (0..shape.din).map(|p| d_in.get(&(n, p)).copied()).collect(),
-                dout: (0..shape.dout)
-                    .map(|p| d_map.get(&(n, p)).cloned().unwrap_or_default())
-                    .collect(),
-                evin: (0..shape.evin)
-                    .map(|p| e_in.get(&(n, p)).copied())
-                    .collect(),
-                evout: (0..shape.evout)
-                    .map(|p| e_map.get(&(n, p)).cloned().unwrap_or_default())
-                    .collect(),
+                enabled: false,
+                din,
+                dout,
+                evin,
+                evout,
             };
             let oid = self.alloc_object(obj);
             obj_ids.push(oid);
@@ -339,6 +512,15 @@ impl Array {
             }
         }
 
+        // Record channel→object adjacency now that object slots are known:
+        // this is what lets a commit wake exactly the two endpoints.
+        for (k, e) in netlist.data_edges.iter().enumerate() {
+            self.d_adj[dchan_ids[k]] = (obj_ids[e.from.0], obj_ids[e.to.0]);
+        }
+        for (k, e) in netlist.ev_edges.iter().enumerate() {
+            self.e_adj[echan_ids[k]] = (obj_ids[e.from.0], obj_ids[e.to.0]);
+        }
+
         let remaining = netlist.object_count() as u64 * CONFIG_CYCLES_PER_OBJECT;
         self.configs.insert(
             id,
@@ -353,7 +535,6 @@ impl Array {
             },
         );
         self.load_queue.push_back(id);
-        self.config_fires.insert(id, 0);
         Ok(ConfigId(id))
     }
 
@@ -369,6 +550,8 @@ impl Array {
             .configs
             .remove(&cfg.0)
             .ok_or(Error::NoSuchConfig(cfg.0))?;
+        let total = self.live_fires(&loaded);
+        self.retired_fires.insert(cfg.0, total);
         for o in &loaded.objects {
             self.objects[*o] = None;
         }
@@ -391,6 +574,7 @@ impl Array {
             slot
         } else {
             self.objects.push(Some(obj));
+            self.sched.queued.push(false);
             self.objects.len() - 1
         }
     }
@@ -401,6 +585,7 @@ impl Array {
             slot
         } else {
             self.dchans.push(Some(ch));
+            self.d_adj.push((usize::MAX, usize::MAX));
             self.dchans.len() - 1
         }
     }
@@ -411,6 +596,7 @@ impl Array {
             slot
         } else {
             self.echans.push(Some(ch));
+            self.e_adj.push((usize::MAX, usize::MAX));
             self.echans.len() - 1
         }
     }
@@ -444,6 +630,7 @@ impl Array {
         }) = self.objects[obj].as_mut()
         {
             q.extend(words);
+            self.sched.wake(obj);
             Ok(())
         } else {
             Err(Error::UnknownPort(name.to_string()))
@@ -468,6 +655,7 @@ impl Array {
         }) = self.objects[obj].as_mut()
         {
             q.extend(events);
+            self.sched.wake(obj);
             Ok(())
         } else {
             Err(Error::UnknownPort(name.to_string()))
@@ -587,49 +775,146 @@ impl Array {
     /// (an object fired, a load progressed, or a board connection moved
     /// tokens).
     pub fn step(&mut self) -> bool {
-        self.stats.cycles += 1;
-        let mut active = false;
+        #[cfg(any(test, feature = "reference"))]
+        if self.use_reference {
+            return self.step_reference();
+        }
+        self.step_event()
+    }
 
-        // Configuration bus: the front of the queue loads.
-        if let Some(&front) = self.load_queue.front() {
-            active = true;
-            self.stats.config_cycles += 1;
-            let cfg = self.configs.get_mut(&front).expect("queued config exists");
-            if let ConfigState::Loading { remaining } = &mut cfg.state {
-                *remaining = remaining.saturating_sub(1);
-                if *remaining == 0 {
-                    cfg.state = ConfigState::Running;
-                    self.stats.configs_loaded += 1;
-                    self.load_queue.pop_front();
+    /// One cycle of the event-driven scheduler: drain the ready list, fire
+    /// what can fire, commit only dirty channels and wake their endpoints.
+    fn step_event(&mut self) -> bool {
+        self.stats.cycles += 1;
+        let mut active = self.tick_config_bus();
+
+        // Fire phase: visit only woken objects. Wakes recorded during the
+        // commit/board phases below land in `ready` for the next cycle.
+        {
+            let Array {
+                objects,
+                dchans,
+                echans,
+                stats,
+                sched,
+                dirty_d,
+                dirty_e,
+                ..
+            } = self;
+            std::mem::swap(&mut sched.ready, &mut sched.fire_buf);
+            let Scheduler {
+                fire_buf,
+                queued,
+                ready,
+            } = sched;
+            for &o in fire_buf.iter() {
+                queued[o] = false;
+                if let Some(obj) = objects[o].as_mut() {
+                    if !obj.enabled {
+                        continue;
+                    }
+                    let fires = fire_object(obj, dchans, echans, dirty_d, dirty_e, stats);
+                    if fires > 0 {
+                        active = true;
+                        obj.fires += u64::from(fires);
+                        // A fired object may be fireable again next cycle
+                        // even with no channel transition (e.g. an Input
+                        // draining its external queue): self-rewake.
+                        if !queued[o] {
+                            queued[o] = true;
+                            ready.push(o);
+                        }
+                    }
                 }
             }
+            fire_buf.clear();
         }
 
-        // Which configs are running this cycle?
-        let loading: HashSet<u32> = self.load_queue.iter().copied().collect();
-
-        // Fire phase.
-        let Array {
-            objects,
-            dchans,
-            echans,
-            stats,
-            config_fires,
-            ..
-        } = self;
-        for obj in objects.iter_mut().flatten() {
-            if loading.contains(&obj.config) {
-                continue;
+        // Commit phase: only channels that staged a push or pop this cycle.
+        // A non-fired object can become fireable only when a blocking
+        // predicate on an adjacent channel transitions (full→not-full for
+        // the producer, empty→non-empty for the consumer) — wake exactly
+        // those endpoints. Steady-state token movement (pop+push keeping
+        // the occupancy level) wakes nobody; the fired objects already
+        // re-woke themselves above.
+        {
+            let Array {
+                dchans,
+                echans,
+                d_adj,
+                e_adj,
+                sched,
+                dirty_d,
+                dirty_e,
+                ..
+            } = self;
+            for &c in dirty_d.iter() {
+                if let Some(ch) = dchans[c].as_mut() {
+                    let (_, freed, gained) = ch.commit_wakes();
+                    if freed {
+                        sched.wake(d_adj[c].0);
+                    }
+                    if gained {
+                        sched.wake(d_adj[c].1);
+                    }
+                }
             }
-            let fires = fire_object(obj, dchans, echans, stats);
-            if fires > 0 {
-                active = true;
-                obj.fires += fires as u64;
-                *config_fires.entry(obj.config).or_insert(0) += fires as u64;
+            dirty_d.clear();
+            for &c in dirty_e.iter() {
+                if let Some(ch) = echans[c].as_mut() {
+                    let (_, freed, gained) = ch.commit_wakes();
+                    if freed {
+                        sched.wake(e_adj[c].0);
+                    }
+                    if gained {
+                        sched.wake(e_adj[c].1);
+                    }
+                }
             }
+            dirty_e.clear();
         }
 
-        // Commit phase.
+        if self.move_board_tokens() {
+            active = true;
+        }
+        active
+    }
+
+    /// One cycle of the retained scan-the-world stepper (the semantics
+    /// oracle the golden-equivalence tests compare against).
+    #[cfg(any(test, feature = "reference"))]
+    fn step_reference(&mut self) -> bool {
+        self.stats.cycles += 1;
+        let mut active = self.tick_config_bus();
+
+        // Fire phase: scan every live object slot.
+        {
+            let Array {
+                objects,
+                dchans,
+                echans,
+                stats,
+                dirty_d,
+                dirty_e,
+                ..
+            } = self;
+            for obj in objects.iter_mut().flatten() {
+                if !obj.enabled {
+                    continue;
+                }
+                let fires = fire_object(obj, dchans, echans, dirty_d, dirty_e, stats);
+                if fires > 0 {
+                    active = true;
+                    obj.fires += u64::from(fires);
+                }
+            }
+            // The reference commits every channel below; the dirty lists are
+            // only a by-product of the shared firing helpers here.
+            dirty_d.clear();
+            dirty_e.clear();
+        }
+
+        // Commit phase: scan every live channel.
         for ch in self.dchans.iter_mut().flatten() {
             ch.commit();
         }
@@ -637,47 +922,106 @@ impl Array {
             ch.commit();
         }
 
-        // Board-level connections.
-        for conn in &self.connections {
+        if self.move_board_tokens() {
+            active = true;
+        }
+        active
+    }
+
+    /// Configuration bus: the front of the queue loads one step's worth of
+    /// configuration words. On completion the configuration's objects are
+    /// enabled and woken so they can fire in the same cycle (matching the
+    /// original stepper, which rebuilt its loading set after the bus tick).
+    /// Returns `true` if a load progressed.
+    fn tick_config_bus(&mut self) -> bool {
+        let Some(&front) = self.load_queue.front() else {
+            return false;
+        };
+        self.stats.config_cycles += 1;
+        let mut finished = false;
+        let cfg = self.configs.get_mut(&front).expect("queued config exists");
+        if let ConfigState::Loading { remaining } = &mut cfg.state {
+            *remaining = remaining.saturating_sub(1);
+            if *remaining == 0 {
+                cfg.state = ConfigState::Running;
+                finished = true;
+            }
+        }
+        if finished {
+            self.stats.configs_loaded += 1;
+            self.load_queue.pop_front();
+            let Array {
+                configs,
+                objects,
+                sched,
+                ..
+            } = self;
+            let loaded = configs.get(&front).expect("config exists");
+            for &o in &loaded.objects {
+                if let Some(obj) = objects[o].as_mut() {
+                    obj.enabled = true;
+                }
+                sched.wake(o);
+            }
+        }
+        true
+    }
+
+    /// Board-level connections: move buffered tokens between external
+    /// ports through the reusable scratch buffers (no per-cycle
+    /// allocation). Returns `true` if any token moved.
+    fn move_board_tokens(&mut self) -> bool {
+        let mut active = false;
+        for i in 0..self.connections.len() {
+            let conn = self.connections[i];
             if conn.event {
-                let moved = match self.objects[conn.from_obj].as_mut() {
-                    Some(RuntimeObject {
-                        state: ObjState::ExtOutEv(v),
-                        ..
-                    }) => std::mem::take(v),
-                    _ => Vec::new(),
-                };
-                if !moved.is_empty() {
+                let mut scratch = std::mem::take(&mut self.board_e);
+                if let Some(RuntimeObject {
+                    state: ObjState::ExtOutEv(v),
+                    ..
+                }) = self.objects[conn.from_obj].as_mut()
+                {
+                    std::mem::swap(v, &mut scratch);
+                }
+                if !scratch.is_empty() {
                     active = true;
                     if let Some(RuntimeObject {
                         state: ObjState::ExtInEv(q),
                         ..
                     }) = self.objects[conn.to_obj].as_mut()
                     {
-                        q.extend(moved);
+                        q.extend(scratch.drain(..));
+                    } else {
+                        scratch.clear();
                     }
+                    self.sched.wake(conn.to_obj);
                 }
+                self.board_e = scratch;
             } else {
-                let moved = match self.objects[conn.from_obj].as_mut() {
-                    Some(RuntimeObject {
-                        state: ObjState::ExtOutData(v),
-                        ..
-                    }) => std::mem::take(v),
-                    _ => Vec::new(),
-                };
-                if !moved.is_empty() {
+                let mut scratch = std::mem::take(&mut self.board_d);
+                if let Some(RuntimeObject {
+                    state: ObjState::ExtOutData(v),
+                    ..
+                }) = self.objects[conn.from_obj].as_mut()
+                {
+                    std::mem::swap(v, &mut scratch);
+                }
+                if !scratch.is_empty() {
                     active = true;
                     if let Some(RuntimeObject {
                         state: ObjState::ExtInData(q),
                         ..
                     }) = self.objects[conn.to_obj].as_mut()
                     {
-                        q.extend(moved);
+                        q.extend(scratch.drain(..));
+                    } else {
+                        scratch.clear();
                     }
+                    self.sched.wake(conn.to_obj);
                 }
+                self.board_d = scratch;
             }
         }
-
         active
     }
 
@@ -733,59 +1077,101 @@ impl Array {
 
 // ---- firing rules -------------------------------------------------------
 
-fn can_put_d(dchans: &[Option<Channel<Word>>], list: &[usize]) -> bool {
-    list.iter()
-        .all(|&c| dchans[c].as_ref().expect("live channel").has_space())
+fn can_put_d(dchans: &[Option<Channel<Word>>], list: &PortList) -> bool {
+    list.chans().iter().all(|&c| {
+        dchans[c as usize]
+            .as_ref()
+            .expect("live channel")
+            .has_space()
+    })
 }
 
-fn put_d(dchans: &mut [Option<Channel<Word>>], list: &[usize], w: Word) {
-    for &c in list {
-        dchans[c].as_mut().expect("live channel").produce(w);
+fn put_d(dchans: &mut [Option<Channel<Word>>], dirty: &mut Vec<usize>, list: &PortList, w: Word) {
+    for &c in list.chans() {
+        let ch = dchans[c as usize].as_mut().expect("live channel");
+        if !ch.is_staged() {
+            dirty.push(c as usize);
+        }
+        ch.produce(w);
     }
 }
 
-fn can_put_e(echans: &[Option<Channel<Event>>], list: &[usize]) -> bool {
-    list.iter()
-        .all(|&c| echans[c].as_ref().expect("live channel").has_space())
+fn can_put_e(echans: &[Option<Channel<Event>>], list: &PortList) -> bool {
+    list.chans().iter().all(|&c| {
+        echans[c as usize]
+            .as_ref()
+            .expect("live channel")
+            .has_space()
+    })
 }
 
-fn put_e(echans: &mut [Option<Channel<Event>>], list: &[usize], e: Event) {
-    for &c in list {
-        echans[c].as_mut().expect("live channel").produce(e);
+fn put_e(echans: &mut [Option<Channel<Event>>], dirty: &mut Vec<usize>, list: &PortList, e: Event) {
+    for &c in list.chans() {
+        let ch = echans[c as usize].as_mut().expect("live channel");
+        if !ch.is_staged() {
+            dirty.push(c as usize);
+        }
+        ch.produce(e);
     }
 }
 
-fn has_d(dchans: &[Option<Channel<Word>>], ch: Option<usize>) -> bool {
-    ch.map(|c| dchans[c].as_ref().expect("live channel").has_token())
-        .unwrap_or(false)
+fn has_d(dchans: &[Option<Channel<Word>>], ch: Option<u32>) -> bool {
+    ch.map(|c| {
+        dchans[c as usize]
+            .as_ref()
+            .expect("live channel")
+            .has_token()
+    })
+    .unwrap_or(false)
 }
 
-fn take_d(dchans: &mut [Option<Channel<Word>>], ch: usize) -> Word {
-    dchans[ch].as_mut().expect("live channel").consume()
+fn take_d(dchans: &mut [Option<Channel<Word>>], dirty: &mut Vec<usize>, ch: u32) -> Word {
+    let c = dchans[ch as usize].as_mut().expect("live channel");
+    if !c.is_staged() {
+        dirty.push(ch as usize);
+    }
+    c.consume()
 }
 
-fn has_e(echans: &[Option<Channel<Event>>], ch: Option<usize>) -> bool {
-    ch.map(|c| echans[c].as_ref().expect("live channel").has_token())
-        .unwrap_or(false)
+fn has_e(echans: &[Option<Channel<Event>>], ch: Option<u32>) -> bool {
+    ch.map(|c| {
+        echans[c as usize]
+            .as_ref()
+            .expect("live channel")
+            .has_token()
+    })
+    .unwrap_or(false)
 }
 
-fn peek_e(echans: &[Option<Channel<Event>>], ch: usize) -> Event {
-    echans[ch]
+fn peek_e(echans: &[Option<Channel<Event>>], ch: u32) -> Event {
+    echans[ch as usize]
         .as_ref()
         .expect("live channel")
         .peek()
         .expect("token present")
 }
 
-fn take_e(echans: &mut [Option<Channel<Event>>], ch: usize) -> Event {
-    echans[ch].as_mut().expect("live channel").consume()
+fn take_e(echans: &mut [Option<Channel<Event>>], dirty: &mut Vec<usize>, ch: u32) -> Event {
+    let c = echans[ch as usize].as_mut().expect("live channel");
+    if !c.is_staged() {
+        dirty.push(ch as usize);
+    }
+    c.consume()
 }
 
 /// Fires every enabled rule of one object; returns the number of rule fires.
+///
+/// Channels touched by a fire are recorded on the dirty lists (deduplicated
+/// via [`Channel::is_staged`]) so the event-driven commit phase can walk
+/// exactly the channels that moved. Both steppers share this function, which
+/// is what makes the equivalence argument local: they can only differ in
+/// which objects they visit, and an unvisited object never fires.
 fn fire_object(
     obj: &mut RuntimeObject,
     dchans: &mut [Option<Channel<Word>>],
     echans: &mut [Option<Channel<Event>>],
+    dirty_d: &mut Vec<usize>,
+    dirty_e: &mut Vec<usize>,
     stats: &mut ArrayStats,
 ) -> u32 {
     match &obj.kind {
@@ -794,9 +1180,9 @@ fn fire_object(
                 && has_d(dchans, obj.din[1])
                 && can_put_d(dchans, &obj.dout[0])
             {
-                let a = take_d(dchans, obj.din[0].unwrap());
-                let b = take_d(dchans, obj.din[1].unwrap());
-                put_d(dchans, &obj.dout[0], op.eval(a, b));
+                let a = take_d(dchans, dirty_d, obj.din[0].unwrap());
+                let b = take_d(dchans, dirty_d, obj.din[1].unwrap());
+                put_d(dchans, dirty_d, &obj.dout[0], op.eval(a, b));
                 if op.uses_multiplier() {
                     stats.mul_fires += 1;
                 } else {
@@ -809,8 +1195,8 @@ fn fire_object(
         }
         ObjectKind::Unary(op) => {
             if has_d(dchans, obj.din[0]) && can_put_d(dchans, &obj.dout[0]) {
-                let a = take_d(dchans, obj.din[0].unwrap());
-                put_d(dchans, &obj.dout[0], op.eval(a));
+                let a = take_d(dchans, dirty_d, obj.din[0].unwrap());
+                put_d(dchans, dirty_d, &obj.dout[0], op.eval(a));
                 if op.uses_multiplier() {
                     stats.mul_fires += 1;
                 } else {
@@ -823,7 +1209,7 @@ fn fire_object(
         }
         ObjectKind::Const(k) => {
             if !obj.dout[0].is_empty() && can_put_d(dchans, &obj.dout[0]) {
-                put_d(dchans, &obj.dout[0], *k);
+                put_d(dchans, dirty_d, &obj.dout[0], *k);
                 stats.reg_fires += 1;
                 1
             } else {
@@ -832,7 +1218,7 @@ fn fire_object(
         }
         ObjectKind::Counter(cfg) => {
             let cfg = *cfg;
-            fire_counter(obj, cfg, dchans, echans, stats)
+            fire_counter(obj, cfg, dchans, echans, dirty_d, dirty_e, stats)
         }
         ObjectKind::Select => {
             if has_d(dchans, obj.din[0])
@@ -840,10 +1226,10 @@ fn fire_object(
                 && has_e(echans, obj.evin[0])
                 && can_put_d(dchans, &obj.dout[0])
             {
-                let sel = take_e(echans, obj.evin[0].unwrap());
-                let a = take_d(dchans, obj.din[0].unwrap());
-                let b = take_d(dchans, obj.din[1].unwrap());
-                put_d(dchans, &obj.dout[0], if sel.0 { b } else { a });
+                let sel = take_e(echans, dirty_e, obj.evin[0].unwrap());
+                let a = take_d(dchans, dirty_d, obj.din[0].unwrap());
+                let b = take_d(dchans, dirty_d, obj.din[1].unwrap());
+                put_d(dchans, dirty_d, &obj.dout[0], if sel.0 { b } else { a });
                 stats.reg_fires += 1;
                 1
             } else {
@@ -855,9 +1241,9 @@ fn fire_object(
                 let sel = peek_e(echans, obj.evin[0].unwrap());
                 let port = if sel.0 { 1 } else { 0 };
                 if has_d(dchans, obj.din[port]) {
-                    take_e(echans, obj.evin[0].unwrap());
-                    let v = take_d(dchans, obj.din[port].unwrap());
-                    put_d(dchans, &obj.dout[0], v);
+                    take_e(echans, dirty_e, obj.evin[0].unwrap());
+                    let v = take_d(dchans, dirty_d, obj.din[port].unwrap());
+                    put_d(dchans, dirty_d, &obj.dout[0], v);
                     stats.reg_fires += 1;
                     return 1;
                 }
@@ -869,9 +1255,9 @@ fn fire_object(
                 let sel = peek_e(echans, obj.evin[0].unwrap());
                 let port = if sel.0 { 1 } else { 0 };
                 if can_put_d(dchans, &obj.dout[port]) {
-                    take_e(echans, obj.evin[0].unwrap());
-                    let v = take_d(dchans, obj.din[0].unwrap());
-                    put_d(dchans, &obj.dout[port], v);
+                    take_e(echans, dirty_e, obj.evin[0].unwrap());
+                    let v = take_d(dchans, dirty_d, obj.din[0].unwrap());
+                    put_d(dchans, dirty_d, &obj.dout[port], v);
                     stats.reg_fires += 1;
                     return 1;
                 }
@@ -885,12 +1271,12 @@ fn fire_object(
                 && can_put_d(dchans, &obj.dout[0])
                 && can_put_d(dchans, &obj.dout[1])
             {
-                let sel = take_e(echans, obj.evin[0].unwrap());
-                let a = take_d(dchans, obj.din[0].unwrap());
-                let b = take_d(dchans, obj.din[1].unwrap());
+                let sel = take_e(echans, dirty_e, obj.evin[0].unwrap());
+                let a = take_d(dchans, dirty_d, obj.din[0].unwrap());
+                let b = take_d(dchans, dirty_d, obj.din[1].unwrap());
                 let (x, y) = if sel.0 { (b, a) } else { (a, b) };
-                put_d(dchans, &obj.dout[0], x);
-                put_d(dchans, &obj.dout[1], y);
+                put_d(dchans, dirty_d, &obj.dout[0], x);
+                put_d(dchans, dirty_d, &obj.dout[1], y);
                 stats.reg_fires += 1;
                 1
             } else {
@@ -903,10 +1289,10 @@ fn fire_object(
                 if pass && !can_put_d(dchans, &obj.dout[0]) {
                     return 0;
                 }
-                take_e(echans, obj.evin[0].unwrap());
-                let v = take_d(dchans, obj.din[0].unwrap());
+                take_e(echans, dirty_e, obj.evin[0].unwrap());
+                let v = take_d(dchans, dirty_d, obj.din[0].unwrap());
                 if pass {
-                    put_d(dchans, &obj.dout[0], v);
+                    put_d(dchans, dirty_d, &obj.dout[0], v);
                 }
                 stats.reg_fires += 1;
                 1
@@ -920,14 +1306,14 @@ fn fire_object(
                 if dump && !can_put_d(dchans, &obj.dout[0]) {
                     return 0;
                 }
-                take_e(echans, obj.evin[0].unwrap());
-                let v = take_d(dchans, obj.din[0].unwrap());
+                take_e(echans, dirty_e, obj.evin[0].unwrap());
+                let v = take_d(dchans, dirty_d, obj.din[0].unwrap());
                 if let ObjState::Accum(acc) = &mut obj.state {
                     *acc = acc.wrapping_add(v);
                     if dump {
                         let out = *acc;
                         *acc = Word::ZERO;
-                        put_d(dchans, &obj.dout[0], out);
+                        put_d(dchans, dirty_d, &obj.dout[0], out);
                     }
                 }
                 stats.alu_fires += 1;
@@ -938,8 +1324,8 @@ fn fire_object(
         }
         ObjectKind::ToEvent => {
             if has_d(dchans, obj.din[0]) && can_put_e(echans, &obj.evout[0]) {
-                let v = take_d(dchans, obj.din[0].unwrap());
-                put_e(echans, &obj.evout[0], Event(v.truthy()));
+                let v = take_d(dchans, dirty_d, obj.din[0].unwrap());
+                put_e(echans, dirty_e, &obj.evout[0], Event(v.truthy()));
                 stats.event_fires += 1;
                 1
             } else {
@@ -948,8 +1334,8 @@ fn fire_object(
         }
         ObjectKind::ToData => {
             if has_e(echans, obj.evin[0]) && can_put_d(dchans, &obj.dout[0]) {
-                let e = take_e(echans, obj.evin[0].unwrap());
-                put_d(dchans, &obj.dout[0], Word::new(e.0 as i32));
+                let e = take_e(echans, dirty_e, obj.evin[0].unwrap());
+                put_d(dchans, dirty_d, &obj.dout[0], Word::new(e.0 as i32));
                 stats.reg_fires += 1;
                 1
             } else {
@@ -958,8 +1344,8 @@ fn fire_object(
         }
         ObjectKind::EventNot => {
             if has_e(echans, obj.evin[0]) && can_put_e(echans, &obj.evout[0]) {
-                let e = take_e(echans, obj.evin[0].unwrap());
-                put_e(echans, &obj.evout[0], Event(!e.0));
+                let e = take_e(echans, dirty_e, obj.evin[0].unwrap());
+                put_e(echans, dirty_e, &obj.evout[0], Event(!e.0));
                 stats.event_fires += 1;
                 1
             } else {
@@ -971,14 +1357,14 @@ fn fire_object(
                 && has_e(echans, obj.evin[1])
                 && can_put_e(echans, &obj.evout[0])
             {
-                let a = take_e(echans, obj.evin[0].unwrap());
-                let b = take_e(echans, obj.evin[1].unwrap());
+                let a = take_e(echans, dirty_e, obj.evin[0].unwrap());
+                let b = take_e(echans, dirty_e, obj.evin[1].unwrap());
                 let r = if matches!(obj.kind, ObjectKind::EventAnd) {
                     a.0 && b.0
                 } else {
                     a.0 || b.0
                 };
-                put_e(echans, &obj.evout[0], Event(r));
+                put_e(echans, dirty_e, &obj.evout[0], Event(r));
                 stats.event_fires += 1;
                 1
             } else {
@@ -993,8 +1379,8 @@ fn fire_object(
                 && has_d(dchans, obj.din[1])
                 && has_d(dchans, obj.din[2])
             {
-                let a = take_d(dchans, obj.din[1].unwrap()).bits() as usize % RAM_WORDS;
-                let v = take_d(dchans, obj.din[2].unwrap());
+                let a = take_d(dchans, dirty_d, obj.din[1].unwrap()).bits() as usize % RAM_WORDS;
+                let v = take_d(dchans, dirty_d, obj.din[2].unwrap());
                 if let ObjState::Ram(mem) = &mut obj.state {
                     mem[a] = v;
                 }
@@ -1003,13 +1389,13 @@ fn fire_object(
             }
             if obj.din[0].is_some() && has_d(dchans, obj.din[0]) && can_put_d(dchans, &obj.dout[0])
             {
-                let a = take_d(dchans, obj.din[0].unwrap()).bits() as usize % RAM_WORDS;
+                let a = take_d(dchans, dirty_d, obj.din[0].unwrap()).bits() as usize % RAM_WORDS;
                 let v = if let ObjState::Ram(mem) = &obj.state {
                     mem[a]
                 } else {
                     Word::ZERO
                 };
-                put_d(dchans, &obj.dout[0], v);
+                put_d(dchans, dirty_d, &obj.dout[0], v);
                 stats.ram_reads += 1;
                 fires += 1;
             }
@@ -1021,7 +1407,7 @@ fn fire_object(
                 if can_put_d(dchans, &obj.dout[0]) && !obj.dout[0].is_empty() {
                     if let ObjState::Fifo(buf) = &mut obj.state {
                         if let Some(v) = buf.pop_front() {
-                            put_d(dchans, &obj.dout[0], v);
+                            put_d(dchans, dirty_d, &obj.dout[0], v);
                             buf.push_back(v);
                             stats.fifo_fires += 1;
                             return 1;
@@ -1034,7 +1420,12 @@ fn fire_object(
                 let mut popped = false;
                 if let ObjState::Fifo(buf) = &mut obj.state {
                     if !buf.is_empty() && can_put_d(dchans, &obj.dout[0]) {
-                        put_d(dchans, &obj.dout[0], *buf.front().expect("nonempty"));
+                        put_d(
+                            dchans,
+                            dirty_d,
+                            &obj.dout[0],
+                            *buf.front().expect("nonempty"),
+                        );
                         popped = true;
                         stats.fifo_fires += 1;
                         fires += 1;
@@ -1046,7 +1437,7 @@ fn fire_object(
                     false
                 };
                 if space && has_d(dchans, obj.din[0]) {
-                    let v = take_d(dchans, obj.din[0].unwrap());
+                    let v = take_d(dchans, dirty_d, obj.din[0].unwrap());
                     if let ObjState::Fifo(buf) = &mut obj.state {
                         buf.push_back(v);
                     }
@@ -1065,7 +1456,7 @@ fn fire_object(
             if can_put_d(dchans, &obj.dout[0]) {
                 if let ObjState::ExtInData(q) = &mut obj.state {
                     if let Some(v) = q.pop_front() {
-                        put_d(dchans, &obj.dout[0], v);
+                        put_d(dchans, dirty_d, &obj.dout[0], v);
                         stats.io_words += 1;
                         return 1;
                     }
@@ -1075,7 +1466,7 @@ fn fire_object(
         }
         ObjectKind::Output(_) => {
             if has_d(dchans, obj.din[0]) {
-                let v = take_d(dchans, obj.din[0].unwrap());
+                let v = take_d(dchans, dirty_d, obj.din[0].unwrap());
                 if let ObjState::ExtOutData(buf) = &mut obj.state {
                     buf.push(v);
                 }
@@ -1089,7 +1480,7 @@ fn fire_object(
             if can_put_e(echans, &obj.evout[0]) {
                 if let ObjState::ExtInEv(q) = &mut obj.state {
                     if let Some(v) = q.pop_front() {
-                        put_e(echans, &obj.evout[0], Event(v));
+                        put_e(echans, dirty_e, &obj.evout[0], Event(v));
                         stats.event_fires += 1;
                         return 1;
                     }
@@ -1099,7 +1490,7 @@ fn fire_object(
         }
         ObjectKind::OutputEvent(_) => {
             if has_e(echans, obj.evin[0]) {
-                let e = take_e(echans, obj.evin[0].unwrap());
+                let e = take_e(echans, dirty_e, obj.evin[0].unwrap());
                 if let ObjState::ExtOutEv(buf) = &mut obj.state {
                     buf.push(e.0);
                 }
@@ -1112,11 +1503,14 @@ fn fire_object(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn fire_counter(
     obj: &mut RuntimeObject,
     cfg: CounterCfg,
     dchans: &mut [Option<Channel<Word>>],
     echans: &mut [Option<Channel<Event>>],
+    dirty_d: &mut Vec<usize>,
+    dirty_e: &mut Vec<usize>,
     stats: &mut ArrayStats,
 ) -> u32 {
     let mut fires = 0;
@@ -1127,7 +1521,7 @@ fn fire_counter(
     if *remaining == 0 {
         if cfg.gated {
             if has_e(echans, obj.evin[0]) {
-                take_e(echans, obj.evin[0].unwrap());
+                take_e(echans, dirty_e, obj.evin[0].unwrap());
                 *remaining = cfg.period;
                 *value = cfg.start;
                 stats.event_fires += 1;
@@ -1136,6 +1530,9 @@ fn fire_counter(
                 return 0;
             }
         } else {
+            // Internal reset without any token movement: deferring it until
+            // the next wake is observationally identical, so the scheduler
+            // may legally skip idle counters in this state.
             *remaining = cfg.period;
             *value = cfg.start;
         }
@@ -1147,9 +1544,9 @@ fn fire_counter(
     }
     let last = *remaining == 1;
     if can_put_d(dchans, &obj.dout[0]) && (!last || can_put_e(echans, &obj.evout[0])) {
-        put_d(dchans, &obj.dout[0], Word::from_i64(*value));
+        put_d(dchans, dirty_d, &obj.dout[0], Word::from_i64(*value));
         if last {
-            put_e(echans, &obj.evout[0], Event(true));
+            put_e(echans, dirty_e, &obj.evout[0], Event(true));
         }
         *value += cfg.step;
         *remaining -= 1;
@@ -1157,4 +1554,261 @@ fn fire_counter(
         fires += 1;
     }
     fires
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::NetlistBuilder;
+    use crate::object::{AluOp, UnaryOp};
+
+    /// Runs the same scenario on a fresh event-driven array and a fresh
+    /// reference array, and requires identical observables and stats.
+    fn check<T: PartialEq + std::fmt::Debug>(scenario: impl Fn(&mut Array) -> T) {
+        let mut fast = Array::xpp64a();
+        assert!(!fast.uses_reference_stepper());
+        let mut slow = with_reference_stepper(Array::xpp64a);
+        assert!(slow.uses_reference_stepper());
+        let a = scenario(&mut fast);
+        let b = scenario(&mut slow);
+        assert_eq!(a, b, "observable outputs diverge between steppers");
+        assert_eq!(fast.stats(), slow.stats(), "stats diverge between steppers");
+    }
+
+    #[test]
+    fn steppers_agree_on_an_arithmetic_pipeline() {
+        check(|array| {
+            let mut nl = NetlistBuilder::new("arith");
+            let a = nl.input("a");
+            let b = nl.input("b");
+            let s = nl.alu(AluOp::Add, a, b);
+            let k = nl.constant(Word::new(3));
+            let m = nl.alu(AluOp::Mul, s, k);
+            let p = nl.unary(UnaryOp::ShrK(1), m);
+            let f = nl.fifo(4, vec![]);
+            nl.wire(p, f.input);
+            nl.output("y", f.output);
+            let cfg = array.configure(&nl.build().unwrap()).unwrap();
+            array.push_input(cfg, "a", (0..40).map(Word::new)).unwrap();
+            array
+                .push_input(cfg, "b", (0..40).map(|i| Word::new(2 * i + 1)))
+                .unwrap();
+            let n = array.run_until_idle(10_000).unwrap();
+            (
+                n,
+                array.drain_output(cfg, "y").unwrap(),
+                array.config_fire_count(cfg),
+            )
+        });
+    }
+
+    #[test]
+    fn steppers_agree_on_event_steering() {
+        check(|array| {
+            let mut nl = NetlistBuilder::new("steer");
+            let d = nl.input("d");
+            let sel = nl.input_event("sel");
+            let (lo, hi) = nl.demux(sel, d);
+            let gate_ev = nl.input_event("pass");
+            let g = nl.gate(gate_ev, lo);
+            let dump = nl.input_event("dump");
+            let acc = nl.accum_dump(hi, dump);
+            let swap_ev = nl.input_event("swap");
+            let (x, y) = nl.swap(swap_ev, g, acc);
+            let tog = nl.to_event(x);
+            let not = nl.ev_not(tog);
+            let both = nl.ev_and(tog, not);
+            nl.output("y", y);
+            let td = nl.to_data(both);
+            nl.output("t", td);
+            nl.output_event("e", not);
+            let cfg = array.configure(&nl.build().unwrap()).unwrap();
+            array.push_input(cfg, "d", (1..33).map(Word::new)).unwrap();
+            array
+                .push_input_events(cfg, "sel", (0..32).map(|i| i % 2 == 0))
+                .unwrap();
+            array
+                .push_input_events(cfg, "pass", (0..16).map(|i| i % 4 != 0))
+                .unwrap();
+            array
+                .push_input_events(cfg, "dump", (0..16).map(|i| i % 4 == 3))
+                .unwrap();
+            array
+                .push_input_events(cfg, "swap", (0..8).map(|i| i % 2 == 0))
+                .unwrap();
+            let n = array.run_until_idle(10_000).unwrap();
+            (
+                n,
+                array.drain_output(cfg, "y").unwrap(),
+                array.drain_output(cfg, "t").unwrap(),
+                array.drain_output_events(cfg, "e").unwrap(),
+            )
+        });
+    }
+
+    #[test]
+    fn steppers_agree_on_select_and_merge() {
+        check(|array| {
+            let mut nl = NetlistBuilder::new("selmerge");
+            let a = nl.input("a");
+            let b = nl.input("b");
+            let sel = nl.input_event("sel");
+            let s = nl.select(sel, a, b);
+            let c = nl.input("c");
+            let msel = nl.input_event("msel");
+            let m = nl.merge(msel, s, c);
+            nl.output("y", m);
+            let cfg = array.configure(&nl.build().unwrap()).unwrap();
+            array.push_input(cfg, "a", (0..24).map(Word::new)).unwrap();
+            array
+                .push_input(cfg, "b", (100..124).map(Word::new))
+                .unwrap();
+            array
+                .push_input(cfg, "c", (200..212).map(Word::new))
+                .unwrap();
+            array
+                .push_input_events(cfg, "sel", (0..24).map(|i| i % 3 == 0))
+                .unwrap();
+            array
+                .push_input_events(cfg, "msel", (0..36).map(|i| i % 3 == 2))
+                .unwrap();
+            let n = array.run_until_idle(10_000).unwrap();
+            (n, array.drain_output(cfg, "y").unwrap())
+        });
+    }
+
+    #[test]
+    fn steppers_agree_on_counters_and_memory() {
+        check(|array| {
+            let mut nl = NetlistBuilder::new("mem");
+            // Free-running address counter feeding a preloaded RAM read
+            // port; the wrap event gates a burst counter whose values are
+            // written back into the RAM.
+            let ctr = nl.counter(CounterCfg::modulo(8));
+            let ram = nl.ram((0..16).map(Word::new).collect());
+            nl.wire(ctr.value, ram.rd_addr);
+            let burst = nl.counter(CounterCfg::gated_burst(3));
+            nl.wire_ev(ctr.wrap, burst.go.unwrap());
+            let waddr = nl.counter(CounterCfg::modulo(5));
+            nl.wire(waddr.value, ram.wr_addr);
+            nl.wire(burst.value, ram.wr_data);
+            let ring = nl.ring_fifo(vec![Word::new(9), Word::new(7)]);
+            let sum = nl.alu(AluOp::Add, ram.rd_data, ring);
+            nl.output("y", sum);
+            let cfg = array.configure(&nl.build().unwrap()).unwrap();
+            // Free-running counters never idle: run a fixed window.
+            array.run(600);
+            (
+                array.drain_output(cfg, "y").unwrap(),
+                array.config_fire_count(cfg),
+                array.object_fire_counts(cfg).unwrap(),
+            )
+        });
+    }
+
+    #[test]
+    fn steppers_agree_across_reconfiguration() {
+        check(|array| {
+            let pipeline = |name: &str, k: i32| {
+                let mut nl = NetlistBuilder::new(name);
+                let a = nl.input("a");
+                let c = nl.constant(Word::new(k));
+                let y = nl.alu(AluOp::Add, a, c);
+                nl.output("y", y);
+                nl.build().unwrap()
+            };
+            let c1 = array.configure(&pipeline("one", 10)).unwrap();
+            let c2 = array.configure(&pipeline("two", 20)).unwrap();
+            array.push_input(c1, "a", (0..10).map(Word::new)).unwrap();
+            array.push_input(c2, "a", (0..10).map(Word::new)).unwrap();
+            // Step through the middle of the load queue to cover firing
+            // while a later configuration is still loading.
+            array.run(CONFIG_CYCLES_PER_OBJECT * 3 + 2);
+            let early = array.drain_output(c1, "y").unwrap();
+            array.run_until_idle(10_000).unwrap();
+            let one = array.drain_output(c1, "y").unwrap();
+            let fires_one = array.config_fire_count(c1);
+            array.unload(c1).unwrap();
+            // Retired counts must remain queryable after unload.
+            let retired = array.config_fire_count(c1);
+            let c3 = array.configure(&pipeline("three", 30)).unwrap();
+            array.push_input(c3, "a", (0..10).map(Word::new)).unwrap();
+            array.run_until_idle(10_000).unwrap();
+            (
+                early,
+                one,
+                fires_one,
+                retired,
+                array.drain_output(c2, "y").unwrap(),
+                array.drain_output(c3, "y").unwrap(),
+                array.fires_by_config(),
+            )
+        });
+    }
+
+    #[test]
+    fn steppers_agree_on_board_connections() {
+        check(|array| {
+            let mut src = NetlistBuilder::new("src");
+            let a = src.input("a");
+            let c = src.constant(Word::new(2));
+            let y = src.alu(AluOp::Mul, a, c);
+            src.output("y", y);
+            let mut dst = NetlistBuilder::new("dst");
+            let b = dst.input("b");
+            let k = dst.constant(Word::new(1));
+            let z = dst.alu(AluOp::Add, b, k);
+            dst.output("z", z);
+            let c1 = array.configure(&src.build().unwrap()).unwrap();
+            let c2 = array.configure(&dst.build().unwrap()).unwrap();
+            array.connect(c1, "y", c2, "b").unwrap();
+            array.push_input(c1, "a", (0..20).map(Word::new)).unwrap();
+            let n = array.run_until_idle(10_000).unwrap();
+            (n, array.drain_output(c2, "z").unwrap())
+        });
+    }
+
+    #[test]
+    fn fires_by_config_matches_per_config_counts() {
+        let mut array = Array::xpp64a();
+        let mut nl = NetlistBuilder::new("p");
+        let a = nl.input("a");
+        let c = nl.constant(Word::new(1));
+        let y = nl.alu(AluOp::Add, a, c);
+        nl.output("y", y);
+        let cfg = array.configure(&nl.build().unwrap()).unwrap();
+        array.push_input(cfg, "a", (0..8).map(Word::new)).unwrap();
+        array.run_until_idle(10_000).unwrap();
+        let by_config = array.fires_by_config();
+        assert_eq!(by_config.len(), 1);
+        assert_eq!(by_config[0].0, cfg);
+        assert_eq!(by_config[0].1, array.config_fire_count(cfg));
+        assert!(by_config[0].1 > 0);
+        // Unloading preserves the total under config_fire_count and drops
+        // the config from the live view.
+        let total = array.config_fire_count(cfg);
+        array.unload(cfg).unwrap();
+        assert_eq!(array.config_fire_count(cfg), total);
+        assert!(array.fires_by_config().is_empty());
+    }
+
+    #[test]
+    fn event_scheduler_sleeps_when_tokens_stall() {
+        // A pipeline with no input tokens must go (and stay) fully idle:
+        // the ready list drains and stepping reports no activity.
+        let mut array = Array::xpp64a();
+        let mut nl = NetlistBuilder::new("stall");
+        let a = nl.input("a");
+        let c = nl.constant(Word::new(1));
+        let y = nl.alu(AluOp::Add, a, c);
+        nl.output("y", y);
+        let cfg = array.configure(&nl.build().unwrap()).unwrap();
+        array.run_until_idle(10_000).unwrap();
+        assert!(array.sched.ready.is_empty(), "ready list must drain");
+        // Late input wakes it back up.
+        array.push_input(cfg, "a", [Word::new(5)]).unwrap();
+        array.run_until_idle(10_000).unwrap();
+        let out = array.drain_output(cfg, "y").unwrap();
+        assert_eq!(out, vec![Word::new(6)]);
+    }
 }

@@ -9,6 +9,24 @@
 
 use std::collections::VecDeque;
 
+/// Tokens stored inline inside the channel (no heap indirection). Channels
+/// up to this capacity — which covers the default capacity 2 and the
+/// capacity-4 streaming netlists — keep their queue in a fixed ring so the
+/// hot stepping loop touches only the contiguous channel slab.
+const INLINE_TOKENS: usize = 4;
+
+/// Queue storage: a fixed inline ring for small capacities, a heap deque
+/// for large ones (deep pipeline-balancing channels).
+#[derive(Debug, Clone)]
+enum Ring<T> {
+    Small {
+        buf: [T; INLINE_TOKENS],
+        head: u8,
+        len: u8,
+    },
+    Big(VecDeque<T>),
+}
+
 /// A bounded token channel.
 ///
 /// Capacity 2 (one output register plus one forward register) sustains one
@@ -16,13 +34,13 @@ use std::collections::VecDeque;
 /// the `ablation_channel_capacity` experiment.
 #[derive(Debug, Clone)]
 pub struct Channel<T> {
-    queue: VecDeque<T>,
+    ring: Ring<T>,
     capacity: usize,
     staged_pop: bool,
     staged_push: Option<T>,
 }
 
-impl<T: Copy> Channel<T> {
+impl<T: Copy + Default> Channel<T> {
     /// Creates a channel with the given capacity and initial tokens.
     ///
     /// # Panics
@@ -31,83 +49,177 @@ impl<T: Copy> Channel<T> {
     /// (the netlist builder validates this earlier).
     pub fn new(capacity: usize, initial: impl IntoIterator<Item = T>) -> Self {
         assert!(capacity >= 1, "channel capacity must be at least 1");
-        let queue: VecDeque<T> = initial.into_iter().collect();
-        assert!(queue.len() <= capacity, "initial tokens exceed capacity");
+        let ring = if capacity <= INLINE_TOKENS {
+            let mut buf = [T::default(); INLINE_TOKENS];
+            let mut len = 0usize;
+            for t in initial {
+                assert!(len < capacity, "initial tokens exceed capacity");
+                buf[len] = t;
+                len += 1;
+            }
+            Ring::Small {
+                buf,
+                head: 0,
+                len: len as u8,
+            }
+        } else {
+            let queue: VecDeque<T> = initial.into_iter().collect();
+            assert!(queue.len() <= capacity, "initial tokens exceed capacity");
+            Ring::Big(queue)
+        };
         Channel {
-            queue,
+            ring,
             capacity,
             staged_pop: false,
             staged_push: None,
         }
     }
 
+    #[inline]
+    fn queue_len(&self) -> usize {
+        match &self.ring {
+            Ring::Small { len, .. } => *len as usize,
+            Ring::Big(q) => q.len(),
+        }
+    }
+
+    #[inline]
+    fn front(&self) -> Option<T> {
+        match &self.ring {
+            Ring::Small { buf, head, len } => {
+                if *len == 0 {
+                    None
+                } else {
+                    Some(buf[*head as usize])
+                }
+            }
+            Ring::Big(q) => q.front().copied(),
+        }
+    }
+
+    #[inline]
+    fn pop_front(&mut self) {
+        match &mut self.ring {
+            Ring::Small { head, len, .. } => {
+                debug_assert!(*len > 0);
+                *head = (*head + 1) % INLINE_TOKENS as u8;
+                *len -= 1;
+            }
+            Ring::Big(q) => {
+                q.pop_front();
+            }
+        }
+    }
+
+    #[inline]
+    fn push_back(&mut self, v: T) {
+        match &mut self.ring {
+            Ring::Small { buf, head, len } => {
+                buf[(*head as usize + *len as usize) % INLINE_TOKENS] = v;
+                *len += 1;
+            }
+            Ring::Big(q) => q.push_back(v),
+        }
+    }
+
     /// True if a token is available for consumption this cycle.
     #[inline]
     pub fn has_token(&self) -> bool {
-        !self.queue.is_empty()
+        self.queue_len() != 0
     }
 
     /// The token that would be consumed this cycle.
     #[inline]
     pub fn peek(&self) -> Option<T> {
-        self.queue.front().copied()
+        self.front()
     }
 
     /// Stages consumption of the front token and returns it.
     ///
     /// # Panics
     ///
-    /// Panics if the channel is empty or was already consumed this cycle.
+    /// Panics (in debug builds) if the channel is empty or was already
+    /// consumed this cycle; callers gate on [`Self::has_token`] first.
     #[inline]
     pub fn consume(&mut self) -> T {
-        assert!(!self.staged_pop, "channel consumed twice in one cycle");
+        debug_assert!(!self.staged_pop, "channel consumed twice in one cycle");
         self.staged_pop = true;
-        *self.queue.front().expect("consume from empty channel")
+        match self.front() {
+            Some(v) => v,
+            None => panic!("consume from empty channel"),
+        }
     }
 
     /// True if the producer may emit into this channel this cycle
     /// (conservative: based on start-of-cycle occupancy).
     #[inline]
     pub fn has_space(&self) -> bool {
-        self.staged_push.is_none() && self.queue.len() < self.capacity
+        self.staged_push.is_none() && self.queue_len() < self.capacity
     }
 
     /// Stages production of a token.
     ///
     /// # Panics
     ///
-    /// Panics if the channel has no space or was already produced into.
+    /// Panics (in debug builds) if the channel has no space or was already
+    /// produced into; callers gate on [`Self::has_space`] first.
     #[inline]
     pub fn produce(&mut self, value: T) {
-        assert!(self.has_space(), "produce into full channel");
+        debug_assert!(self.has_space(), "produce into full channel");
         self.staged_push = Some(value);
+    }
+
+    /// True if a consume or produce has been staged this cycle — i.e. the
+    /// channel belongs on the dirty-commit list.
+    #[inline]
+    pub fn is_staged(&self) -> bool {
+        self.staged_pop || self.staged_push.is_some()
     }
 
     /// Commits staged operations at the end of a cycle. Returns `true` if
     /// any token moved (used for idle detection).
     pub fn commit(&mut self) -> bool {
+        let (moved, _, _) = self.commit_wakes();
+        moved
+    }
+
+    /// Commits staged operations and reports scheduler-relevant transitions:
+    /// `(moved, freed_space, gained_token)`. `freed_space` means the channel
+    /// went full→not-full (its producer may have been unblocked on it);
+    /// `gained_token` means it went empty→non-empty (its consumer may have
+    /// been unblocked). An object whose blocking predicate did not
+    /// transition cannot have become fireable through this channel, so these
+    /// two flags are exactly the wakes the event-driven scheduler needs.
+    pub fn commit_wakes(&mut self) -> (bool, bool, bool) {
+        let before = self.queue_len();
+        let was_full = before == self.capacity;
+        let was_empty = before == 0;
         let mut moved = false;
+        let mut freed = false;
+        let mut gained = false;
         if self.staged_pop {
-            self.queue.pop_front();
+            self.pop_front();
             self.staged_pop = false;
             moved = true;
+            freed = was_full;
         }
         if let Some(v) = self.staged_push.take() {
-            debug_assert!(self.queue.len() < self.capacity);
-            self.queue.push_back(v);
+            debug_assert!(self.queue_len() < self.capacity);
+            self.push_back(v);
             moved = true;
+            gained = was_empty;
         }
-        moved
+        (moved, freed, gained)
     }
 
     /// Current occupancy (committed tokens).
     pub fn len(&self) -> usize {
-        self.queue.len()
+        self.queue_len()
     }
 
     /// True if no committed tokens are present.
     pub fn is_empty(&self) -> bool {
-        self.queue.is_empty()
+        self.queue_len() == 0
     }
 
     /// The configured capacity.

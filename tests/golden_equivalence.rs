@@ -1,0 +1,353 @@
+//! Golden-equivalence suite: the event-driven array scheduler must be
+//! observably indistinguishable from the retained scan-the-world reference
+//! stepper (`xpp-array` feature `reference`) on the paper's end-to-end
+//! scenarios and on randomly generated netlists.
+//!
+//! Every scenario here is a closure that builds its arrays *inside* the
+//! closure, so `with_reference_stepper` can latch the stepper choice at
+//! construction time. The scenario returns every observable — drained
+//! output streams, `ArrayStats`, `run_until_idle` cycle counts, per-config
+//! fire totals — and the test asserts the two runs are identical.
+
+use proptest::prelude::*;
+use xpp_array::array::with_reference_stepper;
+use xpp_array::{AluOp, Array, ArrayStats, CounterCfg, NetlistBuilder, UnaryOp, Word};
+use xpp_sdr::dsp::Cplx;
+use xpp_sdr::ofdm;
+use xpp_sdr::wcdma;
+
+fn values(words: Vec<Word>) -> Vec<i32> {
+    words.iter().map(|w| w.value()).collect()
+}
+
+/// Runs `scenario` on the event-driven stepper and on the reference
+/// stepper and asserts the full observable records match.
+fn assert_steppers_agree<T: PartialEq + std::fmt::Debug>(scenario: impl Fn() -> T) {
+    let fast = scenario();
+    let slow = with_reference_stepper(&scenario);
+    assert_eq!(fast, slow, "event-driven and reference steppers diverged");
+}
+
+/// Everything observable about a multi-phase array run.
+#[derive(Debug, PartialEq)]
+struct Record {
+    streams: Vec<(String, Vec<i32>)>,
+    idle_cycles: Vec<u64>,
+    fires: Vec<(u32, u64)>,
+    stats: ArrayStats,
+}
+
+impl Record {
+    fn new() -> Self {
+        Record {
+            streams: Vec::new(),
+            idle_cycles: Vec::new(),
+            fires: Vec::new(),
+            stats: ArrayStats::default(),
+        }
+    }
+
+    fn drain(&mut self, array: &mut Array, cfg: xpp_array::ConfigId, port: &str) -> Vec<i32> {
+        let v = values(array.drain_output(cfg, port).unwrap());
+        self.streams.push((port.to_string(), v.clone()));
+        v
+    }
+
+    fn finish(mut self, array: &Array) -> Self {
+        self.fires = array
+            .fires_by_config()
+            .into_iter()
+            .map(|(c, n)| (c.index(), n))
+            .collect();
+        self.stats = array.stats();
+        self
+    }
+}
+
+/// The paper's headline W-CDMA scenario on the array: soft handover
+/// received through the Fig. 5 descrambler, then the descrambled chips
+/// time-multiplexed over six virtual fingers through the Fig. 6 despreader
+/// — both configurations resident on one array.
+fn rake_soft_handover_scenario() -> Record {
+    use wcdma::channel::{propagate, AdcConfig, CellLink, Path};
+    use wcdma::tx::{CellConfig, CellTransmitter};
+    use wcdma::xpp_map::{descrambler_netlist, despreader_multiplexed_netlist};
+
+    const FINGERS: usize = 6;
+    const SF: usize = 16;
+    const CHIPS: usize = 192;
+
+    // Three cells in the active set, each under its own scrambling code
+    // and multipath channel.
+    let bits: Vec<u8> = (0..32).map(|i| ((i * 7 + 1) % 2) as u8).collect();
+    let mut signals = Vec::new();
+    for cell in 0..3u32 {
+        let cfg = CellConfig {
+            scrambling_code: cell * 16,
+            ..Default::default()
+        };
+        let mut tx = CellTransmitter::new(cfg);
+        let gain = 0.30 - 0.05 * cell as f64;
+        let link = CellLink::new(vec![
+            Path::new(2 + 5 * cell as usize, Cplx::new(gain, 0.1)),
+            Path::new(6 + 5 * cell as usize, Cplx::new(-0.08, gain * 0.6)),
+        ]);
+        signals.push((tx.transmit(&bits), link));
+    }
+    let rx = propagate(&signals, 0.05, 42, AdcConfig::default());
+    let code = wcdma::ScramblingCode::downlink(0);
+
+    let mut rec = Record::new();
+    let mut array = Array::xpp64a();
+    let desc = array.configure(&descrambler_netlist()).unwrap();
+    let dsp = array
+        .configure(&despreader_multiplexed_netlist(FINGERS, SF))
+        .unwrap();
+
+    // Phase 1: descramble the serving cell on the array.
+    array
+        .push_input(desc, "i_in", rx[..CHIPS].iter().map(|c| Word::new(c.re)))
+        .unwrap();
+    array
+        .push_input(desc, "q_in", rx[..CHIPS].iter().map(|c| Word::new(c.im)))
+        .unwrap();
+    let cbits: Vec<(u8, u8)> = (0..CHIPS).map(|i| code.chip_bits(i)).collect();
+    array
+        .push_input(desc, "ci", cbits.iter().map(|b| Word::new(b.0 as i32)))
+        .unwrap();
+    array
+        .push_input(desc, "cq", cbits.iter().map(|b| Word::new(b.1 as i32)))
+        .unwrap();
+    rec.idle_cycles.push(array.run_until_idle(100_000).unwrap());
+    let di = rec.drain(&mut array, desc, "i_out");
+    let dq = rec.drain(&mut array, desc, "q_out");
+
+    // Phase 2: time-multiplex the descrambled chips over six virtual
+    // fingers (finger f tracks a path offset of f chips) and despread.
+    let symbols = di.len() / SF;
+    let ovsf = wcdma::ovsf::ovsf(SF, 1);
+    let mux = |src: &[i32]| -> Vec<Word> {
+        let mut toks = Vec::new();
+        for k in 0..symbols * SF {
+            for f in 0..FINGERS {
+                toks.push(Word::new(src[(k + f) % src.len()]));
+            }
+        }
+        toks
+    };
+    array.push_input(dsp, "i_in", mux(&di)).unwrap();
+    array.push_input(dsp, "q_in", mux(&dq)).unwrap();
+    let code_toks =
+        (0..symbols * SF).flat_map(|k| std::iter::repeat_n(Word::new(ovsf[k % SF]), FINGERS));
+    array.push_input(dsp, "code", code_toks).unwrap();
+    rec.idle_cycles.push(array.run_until_idle(200_000).unwrap());
+    rec.drain(&mut array, dsp, "i_out");
+    rec.drain(&mut array, dsp, "q_out");
+
+    rec.finish(&array)
+}
+
+/// The Fig. 10 802.11a reconfiguration scenario on the array: the resident
+/// front end (down-sampler + FFT) plus the preamble detector (2a), search
+/// over a real transmitted frame, then the runtime swap 2a→2b and
+/// demodulation through 2b — with the configuration-bus load overlapping
+/// FFT compute.
+fn wlan_reconfiguration_scenario() -> Record {
+    use ofdm::channel::WlanChannel;
+    use ofdm::params::rate;
+    use ofdm::tx::Transmitter;
+    use ofdm::xpp_map::{demodulator_netlist, frontend_netlist, preamble_detector_netlist};
+
+    let r = rate(12).unwrap();
+    let bits: Vec<u8> = (0..48).map(|i| ((i * 3 + 1) % 2) as u8).collect();
+    let frame = Transmitter::new(r).transmit(&bits);
+    let rx20 = WlanChannel {
+        leading_gap: 16,
+        ..Default::default()
+    }
+    .run(&frame.samples);
+    // 40 Msps ADC stream (sample-and-hold 2x), trimmed to keep the
+    // reference stepper fast.
+    let mut rx40 = Vec::with_capacity(1024);
+    for s in rx20.iter().take(512) {
+        rx40.push(*s);
+        rx40.push(*s);
+    }
+
+    let mut rec = Record::new();
+    let mut array = Array::xpp64a();
+    let c1 = array.configure(&frontend_netlist(2)).unwrap();
+    let c2a = array.configure(&preamble_detector_netlist()).unwrap();
+
+    // Search mode: down-sample the ADC stream, correlate through 2a.
+    array
+        .push_input(c1, "i_in", rx40.iter().map(|c| Word::new(c.re)))
+        .unwrap();
+    array
+        .push_input(c1, "q_in", rx40.iter().map(|c| Word::new(c.im)))
+        .unwrap();
+    rec.idle_cycles.push(array.run_until_idle(100_000).unwrap());
+    let ds_i = rec.drain(&mut array, c1, "ds_i");
+    let ds_q = rec.drain(&mut array, c1, "ds_q");
+    array
+        .push_input(c2a, "i_in", ds_i.iter().map(|&v| Word::new(v)))
+        .unwrap();
+    array
+        .push_input(c2a, "q_in", ds_q.iter().map(|&v| Word::new(v)))
+        .unwrap();
+    rec.idle_cycles.push(array.run_until_idle(100_000).unwrap());
+    rec.drain(&mut array, c2a, "metric");
+
+    // Runtime swap 2a -> 2b. Push an FFT window before the new
+    // configuration finishes loading, so the configuration-bus transfer
+    // overlaps resident compute (the scenario of Fig. 10).
+    array.unload(c2a).unwrap();
+    let c2b = array.configure(&demodulator_netlist()).unwrap();
+    array
+        .push_input(c1, "fft_i_in", ds_i[..64].iter().map(|&v| Word::new(v)))
+        .unwrap();
+    array
+        .push_input(c1, "fft_q_in", ds_q[..64].iter().map(|&v| Word::new(v)))
+        .unwrap();
+    rec.idle_cycles.push(array.run_until_idle(100_000).unwrap());
+    assert!(array.is_running(c2b));
+    let fi = rec.drain(&mut array, c1, "fft_i_out");
+    let fq = rec.drain(&mut array, c1, "fft_q_out");
+
+    // Demodulate the spectrum through 2b with unit weights.
+    array
+        .push_input(c2b, "i_in", fi.iter().map(|&v| Word::new(v)))
+        .unwrap();
+    array
+        .push_input(c2b, "q_in", fq.iter().map(|&v| Word::new(v)))
+        .unwrap();
+    array
+        .push_input(c2b, "wi", std::iter::repeat_n(Word::new(512), fi.len()))
+        .unwrap();
+    array
+        .push_input(c2b, "wq", std::iter::repeat_n(Word::ZERO, fi.len()))
+        .unwrap();
+    rec.idle_cycles.push(array.run_until_idle(100_000).unwrap());
+    rec.drain(&mut array, c2b, "b0");
+    rec.drain(&mut array, c2b, "b1");
+
+    rec.finish(&array)
+}
+
+#[test]
+fn rake_soft_handover_is_stepper_invariant() {
+    assert_steppers_agree(rake_soft_handover_scenario);
+}
+
+#[test]
+fn wlan_reconfiguration_is_stepper_invariant() {
+    assert_steppers_agree(wlan_reconfiguration_scenario);
+}
+
+/// One randomly chosen dataflow stage of a generated netlist.
+#[derive(Debug, Clone, Copy)]
+enum Stage {
+    Unary(usize, i32),
+    /// `y = op(x, x delayed by n)` — fan-out plus a FIFO delay line.
+    Combine(usize, usize),
+    /// A counter-driven gate that drops a fraction of the stream.
+    Gate(u64),
+    /// Accumulate-and-dump over counter periods.
+    Dump(u64),
+    /// Counter-driven swap against a constant, recombined by an ALU.
+    Swap(u64, i32),
+}
+
+fn arb_stage() -> impl Strategy<Value = Stage> {
+    prop_oneof![
+        ((0usize..5), (-500i32..500)).prop_map(|(o, k)| Stage::Unary(o, k)),
+        ((0usize..4), (1usize..4)).prop_map(|(o, d)| Stage::Combine(o, d)),
+        (2u64..6).prop_map(Stage::Gate),
+        (2u64..7).prop_map(Stage::Dump),
+        ((2u64..5), (-100i32..100)).prop_map(|(m, k)| Stage::Swap(m, k)),
+    ]
+}
+
+fn unary_op(idx: usize, k: i32) -> UnaryOp {
+    match idx {
+        0 => UnaryOp::AddK(Word::new(k)),
+        1 => UnaryOp::ShrK((k.unsigned_abs()) % 8),
+        2 => UnaryOp::Neg,
+        3 => UnaryOp::Abs,
+        _ => UnaryOp::XorK(Word::new(k & 0xFFF)),
+    }
+}
+
+fn alu_op(idx: usize) -> AluOp {
+    [AluOp::Add, AluOp::Sub, AluOp::Min, AluOp::Max][idx % 4]
+}
+
+/// Builds the generated pipeline and runs the stream through it, returning
+/// the full observable record.
+fn random_netlist_scenario(capacity: usize, stages: &[Stage], inputs: &[i32]) -> Record {
+    let mut nl = NetlistBuilder::new("generated");
+    nl.set_default_capacity(capacity);
+    let mut x = nl.input("x");
+    for s in stages {
+        x = match *s {
+            Stage::Unary(o, k) => nl.unary(unary_op(o, k), x),
+            Stage::Combine(o, d) => {
+                let delayed = nl.delay(x, d);
+                nl.alu(alu_op(o), x, delayed)
+            }
+            Stage::Gate(m) => {
+                let ctr = nl.counter(CounterCfg::modulo(m));
+                let pass = nl.unary(UnaryOp::GeK(Word::new(1)), ctr.value);
+                let ev = nl.to_event(pass);
+                nl.gate(ev, x)
+            }
+            Stage::Dump(m) => {
+                let ctr = nl.counter(CounterCfg::modulo(m));
+                let last = nl.unary(UnaryOp::EqK(Word::new(m as i32 - 1)), ctr.value);
+                let ev = nl.to_event(last);
+                nl.accum_dump(x, ev)
+            }
+            Stage::Swap(m, k) => {
+                let ctr = nl.counter(CounterCfg::modulo(m));
+                let hi = nl.unary(UnaryOp::GeK(Word::new(1)), ctr.value);
+                let ev = nl.to_event(hi);
+                let c = nl.constant(Word::new(k));
+                let (a, b) = nl.swap(ev, x, c);
+                nl.alu(AluOp::Add, a, b)
+            }
+        };
+    }
+    nl.output("y", x);
+    let netlist = nl.build().unwrap();
+
+    let mut rec = Record::new();
+    let mut array = Array::xpp64a();
+    let cfg = array.configure(&netlist).unwrap();
+    array
+        .push_input(cfg, "x", inputs.iter().map(|&v| Word::new(v)))
+        .unwrap();
+    rec.idle_cycles.push(array.run_until_idle(200_000).unwrap());
+    rec.drain(&mut array, cfg, "y");
+    rec.finish(&array)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any generated netlist — mixed unary/ALU/FIFO/counter/gate/
+    /// accumulator/swap stages at any channel capacity — produces
+    /// identical outputs, identical stats, and identical idle-detection
+    /// cycle counts on both steppers.
+    #[test]
+    fn random_netlists_are_stepper_invariant(
+        capacity in 1usize..5,
+        stages in proptest::collection::vec(arb_stage(), 1..6),
+        inputs in proptest::collection::vec(-5000i32..5000, 1..48),
+    ) {
+        let fast = random_netlist_scenario(capacity, &stages, &inputs);
+        let slow = with_reference_stepper(|| {
+            random_netlist_scenario(capacity, &stages, &inputs)
+        });
+        prop_assert_eq!(fast, slow);
+    }
+}
