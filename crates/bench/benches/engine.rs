@@ -46,14 +46,12 @@ fn bench_engine_throughput(c: &mut Criterion) {
 }
 
 fn bench_activation_cache(c: &mut Criterion) {
+    use sdr_wcdma::xpp_map::WcdmaKernel;
     let mut g = c.benchmark_group("engine_activation");
     g.bench_function("cold_build", |b| {
         b.iter_batched(
             || WorkerArray::new(8, Arc::new(Metrics::new())),
-            |mut w| {
-                w.activate("fig5-descrambler", sdr_wcdma::xpp_map::descrambler_netlist)
-                    .unwrap()
-            },
+            |mut w| w.activate(WcdmaKernel::Descrambler).unwrap(),
             BatchSize::LargeInput,
         )
     });
@@ -61,26 +59,18 @@ fn bench_activation_cache(c: &mut Criterion) {
         b.iter_batched(
             || {
                 let mut w = WorkerArray::new(8, Arc::new(Metrics::new()));
-                w.activate("fig5-descrambler", sdr_wcdma::xpp_map::descrambler_netlist)
-                    .unwrap();
-                w.deactivate("fig5-descrambler").unwrap();
+                w.activate(WcdmaKernel::Descrambler).unwrap();
+                w.deactivate(WcdmaKernel::Descrambler).unwrap();
                 w
             },
-            |mut w| {
-                w.activate("fig5-descrambler", sdr_wcdma::xpp_map::descrambler_netlist)
-                    .unwrap()
-            },
+            |mut w| w.activate(WcdmaKernel::Descrambler).unwrap(),
             BatchSize::LargeInput,
         )
     });
     g.bench_function("resident_hit", |b| {
         let mut w = WorkerArray::new(8, Arc::new(Metrics::new()));
-        w.activate("fig5-descrambler", sdr_wcdma::xpp_map::descrambler_netlist)
-            .unwrap();
-        b.iter(|| {
-            w.activate("fig5-descrambler", sdr_wcdma::xpp_map::descrambler_netlist)
-                .unwrap()
-        })
+        w.activate(WcdmaKernel::Descrambler).unwrap();
+        b.iter(|| w.activate(WcdmaKernel::Descrambler).unwrap())
     });
     g.finish();
 }

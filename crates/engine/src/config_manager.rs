@@ -1,0 +1,565 @@
+//! The engine's configuration manager: kernel registry, process-wide
+//! compiled-config store, and the per-worker configuration lifecycle.
+//!
+//! The paper's platform revolves around a configuration manager that
+//! loads, caches and swaps array configurations at runtime. This module
+//! is that subsystem, split into three pieces:
+//!
+//! * [`KernelSpec`] — a stable identity for every array kernel the
+//!   receivers register (`sdr_wcdma::xpp_map::WcdmaKernel`,
+//!   `sdr_ofdm::xpp_map::OfdmKernel`), replacing ad-hoc netlist-builder
+//!   function pointers as the unit of request;
+//! * [`ConfigStore`] — a **process-wide** bounded LRU of
+//!   [`Arc<CompiledConfig>`]s, shared by every worker shard, so each
+//!   kernel is built and placed **once per process** instead of once per
+//!   worker (the old per-worker netlist cache rebuilt and re-placed the
+//!   same kernels on every shard);
+//! * [`ConfigManager`] — the per-worker lifecycle driver layered over one
+//!   array, tracking which configurations are resident and in what state.
+//!
+//! # Configuration lifecycle
+//!
+//! A configuration request moves through an explicit state machine:
+//!
+//! ```text
+//! request ──► prefetch ──► loading ──► active ──► unload
+//!    │                                   ▲
+//!    └───────────(demand load)───────────┘
+//! ```
+//!
+//! * **request** — a session names a [`KernelSpec`]; the store resolves it
+//!   to an `Arc<CompiledConfig>` (compiling on first use).
+//! * **prefetch** — [`ConfigManager::prefetch`] places the compiled config
+//!   onto the array *speculatively*: resources are reserved and the serial
+//!   configuration bus starts streaming, but nobody waits for it. The
+//!   load overlaps whatever the array is already running (the paper's
+//!   Fig. 10 trick: configuration 2b loads while 2a is still searching
+//!   for the preamble).
+//! * **loading** — the bus streams the configuration; a prefetched entry
+//!   sits in [`CmState::Loading`] until someone activates it.
+//! * **active** — [`ConfigManager::activate`] finishes any remaining bus
+//!   cycles and hands the session a running [`ConfigId`]. Activating a
+//!   prefetched entry is a *prefetch hit*: the swap pays only residual
+//!   activation, not build + place + load.
+//! * **unload** — [`ConfigManager::deactivate`] (or placement-pressure
+//!   eviction, least recently used first) releases the resources.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use sdr_ofdm::xpp_map::OfdmKernel;
+use sdr_wcdma::xpp_map::WcdmaKernel;
+use xpp_array::{Array, CompiledConfig, ConfigId, Error as XppError, Netlist, Result as XppResult};
+
+use crate::metrics::Metrics;
+
+/// A kernel identity across both standards: the unit of request the
+/// configuration manager works in.
+///
+/// [`config_name`](KernelSpec::config_name) is the cache key — kernel id
+/// plus every parameter that changes the generated netlist — and
+/// [`build`](KernelSpec::build) produces the netlist on a store miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelSpec {
+    /// A W-CDMA rake kernel (paper Figs. 5–7).
+    Wcdma(WcdmaKernel),
+    /// An 802.11a OFDM kernel (paper Figs. 9–10).
+    Ofdm(OfdmKernel),
+}
+
+impl KernelSpec {
+    /// The stable store key for this kernel + parameters.
+    pub fn config_name(&self) -> String {
+        match self {
+            KernelSpec::Wcdma(k) => k.config_name(),
+            KernelSpec::Ofdm(k) => k.config_name(),
+        }
+    }
+
+    /// Builds the kernel's netlist (only called on a store miss).
+    pub fn build(&self) -> Netlist {
+        match self {
+            KernelSpec::Wcdma(k) => k.build(),
+            KernelSpec::Ofdm(k) => k.build(),
+        }
+    }
+}
+
+impl From<WcdmaKernel> for KernelSpec {
+    fn from(k: WcdmaKernel) -> Self {
+        KernelSpec::Wcdma(k)
+    }
+}
+
+impl From<OfdmKernel> for KernelSpec {
+    fn from(k: OfdmKernel) -> Self {
+        KernelSpec::Ofdm(k)
+    }
+}
+
+/// Outcome of a [`ConfigStore`] lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreLookup {
+    /// The compiled config was already in the store; no build happened.
+    pub hit: bool,
+    /// An LRU entry was dropped to make room.
+    pub evicted: bool,
+}
+
+#[derive(Debug)]
+struct StoreEntry {
+    name: String,
+    config: Arc<CompiledConfig>,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct StoreInner {
+    entries: Vec<StoreEntry>,
+    tick: u64,
+}
+
+/// Process-wide bounded LRU store of compiled configurations.
+///
+/// One store is shared (via `Arc`) by every worker in a
+/// [`ShardPool`](crate::pool::ShardPool): the first worker to request a
+/// kernel pays
+/// netlist build + placement + port-map flattening, every later request —
+/// from *any* shard — gets the same `Arc<CompiledConfig>` and pays only
+/// the serial configuration bus on its own array.
+///
+/// Builds happen under the store lock, so concurrent workers requesting
+/// the same kernel compile it exactly once (the second blocks briefly and
+/// then hits).
+#[derive(Debug)]
+pub struct ConfigStore {
+    capacity: usize,
+    inner: Mutex<StoreInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ConfigStore {
+    /// Creates an empty store holding at most `capacity` compiled configs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "store capacity must be positive");
+        ConfigStore {
+            capacity,
+            inner: Mutex::new(StoreInner::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the compiled config for `name`, building and compiling it
+    /// with `build` on a miss. The LRU entry is evicted when full.
+    pub fn get_or_compile<F: FnOnce() -> Netlist>(
+        &self,
+        name: &str,
+        build: F,
+    ) -> (Arc<CompiledConfig>, StoreLookup) {
+        let mut inner = self.inner.lock().expect("config store poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(entry) = inner.entries.iter_mut().find(|e| e.name == name) {
+            entry.last_used = tick;
+            let config = Arc::clone(&entry.config);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (
+                config,
+                StoreLookup {
+                    hit: true,
+                    evicted: false,
+                },
+            );
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut evicted = false;
+        if inner.entries.len() == self.capacity {
+            let lru = inner
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+                .expect("store is full, so nonempty");
+            inner.entries.swap_remove(lru);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            evicted = true;
+        }
+        let config = Arc::new(CompiledConfig::compile(&build()));
+        inner.entries.push(StoreEntry {
+            name: name.to_string(),
+            config: Arc::clone(&config),
+            last_used: tick,
+        });
+        (
+            config,
+            StoreLookup {
+                hit: false,
+                evicted,
+            },
+        )
+    }
+
+    /// Whether `name` is currently stored (no LRU touch).
+    pub fn contains(&self, name: &str) -> bool {
+        let inner = self.inner.lock().expect("config store poisoned");
+        inner.entries.iter().any(|e| e.name == name)
+    }
+
+    /// Number of stored compiled configs.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("config store poisoned")
+            .entries
+            .len()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum number of stored compiled configs.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lookups served without a compile.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to build and compile.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries dropped to make room.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+}
+
+/// Where a resident configuration is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmState {
+    /// Placed on the array and streaming over the configuration bus; a
+    /// prefetched configuration waits here until someone activates it.
+    Loading,
+    /// Finished loading; sessions may drive I/O on it.
+    Active,
+}
+
+#[derive(Debug)]
+struct Resident {
+    name: String,
+    id: ConfigId,
+    state: CmState,
+}
+
+/// Per-worker configuration lifecycle driver.
+///
+/// Owns the worker's resident-configuration list (least recently used
+/// first) and resolves every request through the shared [`ConfigStore`].
+/// Activation is tiered exactly like the paper's CM:
+///
+/// 1. **resident active** — free;
+/// 2. **resident loading** (prefetched) — pay only the residual bus
+///    cycles (a *prefetch hit*);
+/// 3. **stored** — pay the full serial bus load;
+/// 4. **cold** — build + compile + place, then load.
+///
+/// When placement fails, resident configurations are evicted least
+/// recently used first and the load retried — the paper's Fig. 10
+/// resource recycling. Prefetches never evict: a speculative load must
+/// not cost a running configuration its resources.
+#[derive(Debug)]
+pub struct ConfigManager {
+    store: Arc<ConfigStore>,
+    resident: Vec<Resident>,
+    metrics: Arc<Metrics>,
+}
+
+impl ConfigManager {
+    /// Creates a manager drawing from `store`.
+    pub fn new(store: Arc<ConfigStore>, metrics: Arc<Metrics>) -> Self {
+        ConfigManager {
+            store,
+            resident: Vec::new(),
+            metrics,
+        }
+    }
+
+    /// The shared compiled-config store.
+    pub fn store(&self) -> &Arc<ConfigStore> {
+        &self.store
+    }
+
+    /// The lifecycle state of a resident configuration, if resident.
+    pub fn state_of(&self, name: &str) -> Option<CmState> {
+        self.resident
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.state)
+    }
+
+    /// Whether `name` is resident on the array (loading or active).
+    pub fn is_resident(&self, name: &str) -> bool {
+        self.resident.iter().any(|r| r.name == name)
+    }
+
+    /// Ensures the configuration is resident *and running*, returning its
+    /// handle. See the type docs for the activation tiers.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if placement fails even after unloading every
+    /// other resident configuration.
+    pub fn activate(&mut self, array: &mut Array, spec: &KernelSpec) -> XppResult<ConfigId> {
+        let name = spec.config_name();
+        if let Some(pos) = self.resident.iter().position(|r| r.name == name) {
+            let mut entry = self.resident.remove(pos);
+            match entry.state {
+                CmState::Active => {
+                    Metrics::incr(&self.metrics.cache_hits);
+                }
+                CmState::Loading => {
+                    // Prefetch hit: the bus may still be streaming; pay
+                    // only what the overlap didn't already hide.
+                    Self::finish_load(array, entry.id, &self.metrics);
+                    entry.state = CmState::Active;
+                    Metrics::incr(&self.metrics.prefetch_hits);
+                }
+            }
+            let id = entry.id;
+            self.resident.push(entry); // most recently used
+            return Ok(id);
+        }
+
+        let (compiled, lookup) = self.store.get_or_compile(&name, || spec.build());
+        Metrics::incr(if lookup.hit {
+            &self.metrics.cache_hits
+        } else {
+            &self.metrics.cache_misses
+        });
+        if lookup.evicted {
+            Metrics::incr(&self.metrics.cache_evictions);
+        }
+        let id = self.place_with_eviction(array, &compiled)?;
+        Self::finish_load(array, id, &self.metrics);
+        self.resident.push(Resident {
+            name,
+            id,
+            state: CmState::Active,
+        });
+        Ok(id)
+    }
+
+    /// Speculatively places the configuration and starts its bus load
+    /// without waiting for it — the **prefetch** edge of the lifecycle.
+    /// Returns whether a prefetch was actually issued (`false` when the
+    /// configuration is already resident or the array is too full).
+    ///
+    /// A later [`activate`](ConfigManager::activate) of the same spec is
+    /// then a prefetch hit: the load streamed while the array ran other
+    /// configurations, so the activation pays only the residue.
+    ///
+    /// # Errors
+    ///
+    /// Propagates array errors other than placement failure; a placement
+    /// failure skips the prefetch (speculative work must never evict a
+    /// resident configuration).
+    pub fn prefetch(&mut self, array: &mut Array, spec: &KernelSpec) -> XppResult<bool> {
+        let name = spec.config_name();
+        if self.is_resident(&name) {
+            return Ok(false);
+        }
+        let (compiled, lookup) = self.store.get_or_compile(&name, || spec.build());
+        Metrics::incr(if lookup.hit {
+            &self.metrics.cache_hits
+        } else {
+            &self.metrics.cache_misses
+        });
+        if lookup.evicted {
+            Metrics::incr(&self.metrics.cache_evictions);
+        }
+        let id = match array.configure_compiled(&compiled) {
+            Ok(id) => id,
+            Err(XppError::PlacementFailed { .. }) => return Ok(false),
+            Err(e) => return Err(e),
+        };
+        Metrics::incr(&self.metrics.prefetches);
+        self.resident.push(Resident {
+            name,
+            id,
+            state: CmState::Loading,
+        });
+        Ok(true)
+    }
+
+    /// Unloads the named configuration if resident (in any lifecycle
+    /// state); returns whether it was.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the array rejects the unload.
+    pub fn deactivate(&mut self, array: &mut Array, name: &str) -> XppResult<bool> {
+        match self.resident.iter().position(|r| r.name == name) {
+            Some(pos) => {
+                let entry = self.resident.remove(pos);
+                array.unload(entry.id)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    fn place_with_eviction(
+        &mut self,
+        array: &mut Array,
+        compiled: &CompiledConfig,
+    ) -> XppResult<ConfigId> {
+        loop {
+            match array.configure_compiled(compiled) {
+                Ok(id) => return Ok(id),
+                Err(XppError::PlacementFailed { .. }) if !self.resident.is_empty() => {
+                    let lru = self.resident.remove(0);
+                    array.unload(lru.id)?;
+                    Metrics::incr(&self.metrics.cache_evictions);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Streams the remaining configuration-bus cycles of `id`, recording
+    /// them as load latency the sessions actually waited for.
+    fn finish_load(array: &mut Array, id: ConfigId, metrics: &Metrics) {
+        let bus_before = array.stats().config_cycles;
+        while !array.is_running(id) {
+            array.step();
+        }
+        Metrics::add(
+            &metrics.config_bus_cycles,
+            array.stats().config_cycles - bus_before,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdr_wcdma::xpp_map::WcdmaKernel;
+
+    const DESCRAMBLER: KernelSpec = KernelSpec::Wcdma(WcdmaKernel::Descrambler);
+    const DETECTOR: KernelSpec = KernelSpec::Ofdm(OfdmKernel::PreambleDetector);
+    const DEMODULATOR: KernelSpec = KernelSpec::Ofdm(OfdmKernel::Demodulator);
+
+    #[test]
+    fn store_compiles_once_and_shares() {
+        let store = ConfigStore::new(4);
+        let (a, l1) = store.get_or_compile("fig5-descrambler", || DESCRAMBLER.build());
+        let (b, l2) = store.get_or_compile("fig5-descrambler", || panic!("hit must not rebuild"));
+        assert!(!l1.hit && l2.hit);
+        assert!(Arc::ptr_eq(&a, &b), "both callers share one compile");
+        assert_eq!((store.hits(), store.misses()), (1, 1));
+    }
+
+    #[test]
+    fn store_evicts_least_recently_used() {
+        let store = ConfigStore::new(2);
+        store.get_or_compile("a", || DESCRAMBLER.build());
+        store.get_or_compile("b", || DETECTOR.build());
+        store.get_or_compile("a", || unreachable!()); // touch a; b is LRU
+        let (_, l) = store.get_or_compile("c", || DEMODULATOR.build());
+        assert!(l.evicted);
+        assert!(store.contains("a") && store.contains("c") && !store.contains("b"));
+        assert_eq!(store.evictions(), 1);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn activation_walks_the_lifecycle() {
+        let metrics = Arc::new(Metrics::new());
+        let mut cm = ConfigManager::new(Arc::new(ConfigStore::new(4)), Arc::clone(&metrics));
+        let mut array = Array::xpp64a();
+
+        // request → loading → active (demand load).
+        let id = cm.activate(&mut array, &DETECTOR).unwrap();
+        assert!(array.is_running(id));
+        assert_eq!(cm.state_of(&DETECTOR.config_name()), Some(CmState::Active));
+
+        // prefetch: placed, loading, not waited for.
+        assert!(cm.prefetch(&mut array, &DEMODULATOR).unwrap());
+        assert_eq!(
+            cm.state_of(&DEMODULATOR.config_name()),
+            Some(CmState::Loading)
+        );
+        // A second prefetch of the same spec is a no-op.
+        assert!(!cm.prefetch(&mut array, &DEMODULATOR).unwrap());
+
+        // activate the prefetched config: a prefetch hit.
+        let id2 = cm.activate(&mut array, &DEMODULATOR).unwrap();
+        assert!(array.is_running(id2));
+        let snap = metrics.snapshot();
+        assert_eq!(snap.prefetches, 1);
+        assert_eq!(snap.prefetch_hits, 1);
+
+        // unload ends the lifecycle.
+        assert!(cm
+            .deactivate(&mut array, &DEMODULATOR.config_name())
+            .unwrap());
+        assert!(!cm.is_resident(&DEMODULATOR.config_name()));
+    }
+
+    #[test]
+    fn prefetch_overlaps_the_bus_with_running_work() {
+        let metrics = Arc::new(Metrics::new());
+        let mut cm = ConfigManager::new(Arc::new(ConfigStore::new(4)), metrics);
+        let mut array = Array::xpp64a();
+        cm.activate(&mut array, &DETECTOR).unwrap();
+        cm.prefetch(&mut array, &DEMODULATOR).unwrap();
+        // Let the array run "other work": the bus streams the prefetched
+        // load in the background.
+        for _ in 0..1_000 {
+            array.step();
+        }
+        // By activation time the load has fully overlapped: zero residual
+        // bus cycles, zero added array cycles.
+        let cycles_before = array.stats().cycles;
+        let id = cm.activate(&mut array, &DEMODULATOR).unwrap();
+        assert!(array.is_running(id));
+        assert_eq!(
+            array.stats().cycles,
+            cycles_before,
+            "prefetched activation must not step the array"
+        );
+    }
+
+    #[test]
+    fn prefetch_never_evicts_residents() {
+        let metrics = Arc::new(Metrics::new());
+        let mut cm = ConfigManager::new(Arc::new(ConfigStore::new(8)), metrics);
+        // An array whose I/O channels fit the detector exactly, so any
+        // further configuration fails placement.
+        let compiled = CompiledConfig::compile(&DETECTOR.build());
+        let mut geometry = xpp_array::Geometry::xpp64a();
+        geometry.io_channels = compiled.placement().counts.io;
+        let mut array = Array::with_geometry(geometry);
+        cm.activate(&mut array, &DETECTOR).unwrap();
+        assert!(
+            !cm.prefetch(&mut array, &DEMODULATOR).unwrap(),
+            "prefetch must fail soft when the array is full"
+        );
+        assert!(cm.is_resident(&DETECTOR.config_name()), "resident survived");
+    }
+}

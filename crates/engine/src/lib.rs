@@ -11,8 +11,12 @@
 //!   reconfiguration);
 //! * [`pool`] — bounded-queue worker shards with `WouldBlock`
 //!   backpressure and earliest-deadline-first dispatch;
-//! * [`config_cache`] — per-worker LRU caches of built netlists, so
-//!   repeated activations pay configuration-bus cycles, never a rebuild;
+//! * [`config_manager`] — the configuration-manager subsystem: a
+//!   [`KernelSpec`] registry of array kernels, a **process-wide** LRU
+//!   store of pre-compiled, pre-placed configurations (each kernel is
+//!   built once per process, not once per worker), and the per-worker
+//!   request→prefetch→loading→active→unload lifecycle with
+//!   prefetch-overlapped reconfiguration;
 //! * [`metrics`] — a lock-free registry every component reports into.
 //!
 //! [`Engine`] ties them together: admission control via
@@ -29,12 +33,12 @@
 //! println!("{}", summary.snapshot);
 //! ```
 
-pub mod config_cache;
+pub mod config_manager;
 pub mod metrics;
 pub mod pool;
 pub mod session;
 
-pub use config_cache::ConfigCache;
+pub use config_manager::{CmState, ConfigManager, ConfigStore, KernelSpec};
 pub use metrics::{KernelKind, Metrics, Snapshot};
 pub use pool::{PoolConfig, ShardPool, SubmitError, WorkerArray};
 pub use session::{Session, SessionState, Standard};
@@ -54,7 +58,7 @@ pub struct EngineConfig {
     pub shards: usize,
     /// Bounded per-shard queue depth.
     pub queue_depth: usize,
-    /// Netlists each worker may cache.
+    /// Compiled configurations the process-wide store may hold.
     pub cache_capacity: usize,
 }
 

@@ -77,6 +77,14 @@ pub struct Metrics {
     pub cache_misses: AtomicU64,
     /// Configurations evicted from a worker's cache.
     pub cache_evictions: AtomicU64,
+    /// Speculative configuration loads issued ahead of need.
+    pub prefetches: AtomicU64,
+    /// Activations served from a prefetched (pre-placed, pre-streamed)
+    /// configuration — the swap paid only residual activation.
+    pub prefetch_hits: AtomicU64,
+    /// Array cycles sessions actually waited on reconfiguration swaps
+    /// (a prefetched swap contributes ~0 here).
+    pub reconfig_cycles: AtomicU64,
     /// High-water mark of any shard's queue depth.
     pub queue_high_water: AtomicU64,
     /// Configuration-bus cycles spent loading configurations.
@@ -133,6 +141,9 @@ impl Metrics {
             cache_hits: load(&self.cache_hits),
             cache_misses: load(&self.cache_misses),
             cache_evictions: load(&self.cache_evictions),
+            prefetches: load(&self.prefetches),
+            prefetch_hits: load(&self.prefetch_hits),
+            reconfig_cycles: load(&self.reconfig_cycles),
             queue_high_water: load(&self.queue_high_water),
             config_bus_cycles: load(&self.config_bus_cycles),
             kernel_cycles: std::array::from_fn(|i| load(&self.kernel_cycles[i])),
@@ -163,6 +174,12 @@ pub struct Snapshot {
     pub cache_misses: u64,
     /// Configuration-cache evictions.
     pub cache_evictions: u64,
+    /// Speculative configuration loads issued.
+    pub prefetches: u64,
+    /// Activations served from a prefetched configuration.
+    pub prefetch_hits: u64,
+    /// Array cycles spent waiting on reconfiguration swaps.
+    pub reconfig_cycles: u64,
     /// Deepest observed shard queue.
     pub queue_high_water: u64,
     /// Configuration-bus cycles.
@@ -212,8 +229,13 @@ impl fmt::Display for Snapshot {
         )?;
         writeln!(
             f,
-            "  reconfig    swaps   {:>8}  bus cycles {:>12}",
-            self.reconfigurations, self.config_bus_cycles
+            "  reconfig    swaps   {:>8}  bus cycles {:>12}  swap-wait cycles {:>8}",
+            self.reconfigurations, self.config_bus_cycles, self.reconfig_cycles
+        )?;
+        writeln!(
+            f,
+            "  prefetch    issued  {:>8}  hits      {:>8}",
+            self.prefetches, self.prefetch_hits
         )?;
         writeln!(
             f,

@@ -15,22 +15,24 @@ use std::sync::mpsc::{self, Receiver, SyncSender, TryRecvError, TrySendError};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
-use xpp_array::{Array, ConfigId, Error as XppError, Netlist, Result as XppResult};
+use xpp_array::{Array, ConfigId, Result as XppResult};
 
-use crate::config_cache::ConfigCache;
+use crate::config_manager::{ConfigManager, ConfigStore, KernelSpec};
 use crate::metrics::Metrics;
 use crate::session::Session;
 
-/// A worker's execution context: its private array plus the configuration
-/// state layered on top of it.
+/// A worker's execution context: its private array plus the
+/// [`ConfigManager`] driving that array's configuration lifecycle.
 ///
 /// `activate` is the only way sessions load configurations, so every load
-/// goes through three tiers:
+/// goes through the manager's tiers:
 ///
-/// 1. **resident** — the configuration is already on the array: free;
-/// 2. **cached** — the netlist is in the [`ConfigCache`]: pay only the
-///    serial configuration bus;
-/// 3. **miss** — build the netlist, cache it, then load it.
+/// 1. **resident active** — the configuration is running on the array: free;
+/// 2. **resident loading** — it was [`prefetch`](WorkerArray::prefetch)ed
+///    earlier: pay only the residual bus cycles;
+/// 3. **stored** — the compiled config is in the process-wide
+///    [`ConfigStore`]: pay only the serial configuration bus;
+/// 4. **cold** — build, compile and store it, then load.
 ///
 /// When placement fails, the least recently used resident configuration
 /// is unloaded and the load retried — the paper's Fig. 10 resource
@@ -38,19 +40,24 @@ use crate::session::Session;
 #[derive(Debug)]
 pub struct WorkerArray {
     array: Array,
-    cache: ConfigCache,
-    /// Resident configurations, least recently used first.
-    resident: Vec<(String, ConfigId)>,
+    cm: ConfigManager,
     metrics: Arc<Metrics>,
 }
 
 impl WorkerArray {
-    /// Creates a worker context around a fresh XPP-64A.
-    pub fn new(cache_capacity: usize, metrics: Arc<Metrics>) -> Self {
+    /// Creates a worker context around a fresh XPP-64A with its own
+    /// private store (tests, benches, single-worker use).
+    pub fn new(store_capacity: usize, metrics: Arc<Metrics>) -> Self {
+        let store = Arc::new(ConfigStore::new(store_capacity));
+        Self::with_store(store, metrics)
+    }
+
+    /// Creates a worker context drawing compiled configs from a shared
+    /// process-wide store (what [`ShardPool`] workers use).
+    pub fn with_store(store: Arc<ConfigStore>, metrics: Arc<Metrics>) -> Self {
         WorkerArray {
             array: Array::xpp64a(),
-            cache: ConfigCache::new(cache_capacity),
-            resident: Vec::new(),
+            cm: ConfigManager::new(store, Arc::clone(&metrics)),
             metrics,
         }
     }
@@ -70,107 +77,81 @@ impl WorkerArray {
         &self.metrics
     }
 
-    /// The worker's netlist cache (counters for tests and reports).
-    pub fn cache(&self) -> &ConfigCache {
-        &self.cache
+    /// The worker's configuration manager (lifecycle state, store access).
+    pub fn config_manager(&self) -> &ConfigManager {
+        &self.cm
     }
 
-    /// Whether `name` is currently loaded on the array.
+    /// The compiled-config store this worker draws from.
+    pub fn store(&self) -> &Arc<ConfigStore> {
+        self.cm.store()
+    }
+
+    /// Whether the kernel's configuration is currently on the array.
     pub fn is_resident(&self, name: &str) -> bool {
-        self.resident.iter().any(|(n, _)| n == name)
+        self.cm.is_resident(name)
     }
 
-    /// Ensures the named configuration is loaded and returns its handle.
-    ///
-    /// `build` must produce a netlist whose name equals `name` (the name
-    /// is the cache key).
+    /// Ensures the kernel's configuration is loaded and running, and
+    /// returns its handle. See the type docs for the activation tiers.
     ///
     /// # Errors
     ///
     /// Returns an error if placement fails even after unloading every
     /// other resident configuration.
-    pub fn activate<F: FnOnce() -> Netlist>(
-        &mut self,
-        name: &str,
-        build: F,
-    ) -> XppResult<ConfigId> {
-        if let Some(pos) = self.resident.iter().position(|(n, _)| n == name) {
-            let entry = self.resident.remove(pos);
-            let id = entry.1;
-            self.resident.push(entry);
-            Metrics::incr(&self.metrics.cache_hits);
-            return Ok(id);
-        }
-        let lookup = self.cache.get_or_build(name, build);
-        debug_assert_eq!(self.cache.netlist(lookup.index).name(), name);
-        Metrics::incr(if lookup.hit {
-            &self.metrics.cache_hits
-        } else {
-            &self.metrics.cache_misses
-        });
-        if lookup.evicted {
-            Metrics::incr(&self.metrics.cache_evictions);
-        }
-        let bus_before = self.array.stats().config_cycles;
-        let netlist = self.cache.netlist(lookup.index);
-        let id = loop {
-            match self.array.configure(netlist) {
-                Ok(id) => break id,
-                Err(XppError::PlacementFailed { .. }) if !self.resident.is_empty() => {
-                    let (_, old) = self.resident.remove(0);
-                    self.array.unload(old)?;
-                    Metrics::incr(&self.metrics.cache_evictions);
-                }
-                Err(e) => return Err(e),
-            }
-        };
-        // Stream the objects over the serial configuration bus now, so the
-        // activation (not the first data run) pays the load latency.
-        while !self.array.is_running(id) {
-            self.array.step();
-        }
-        Metrics::add(
-            &self.metrics.config_bus_cycles,
-            self.array.stats().config_cycles - bus_before,
-        );
-        self.resident.push((name.to_string(), id));
-        Ok(id)
+    pub fn activate(&mut self, spec: impl Into<KernelSpec>) -> XppResult<ConfigId> {
+        self.cm.activate(&mut self.array, &spec.into())
     }
 
-    /// Unloads the named configuration if resident; returns whether it was.
+    /// Speculatively starts loading the kernel's configuration without
+    /// waiting for it, so a later [`activate`](WorkerArray::activate) (or
+    /// [`swap`](WorkerArray::swap)) pays only residual activation.
+    /// Returns whether a prefetch was issued (`false` when already
+    /// resident or the array is too full — prefetches never evict).
+    ///
+    /// # Errors
+    ///
+    /// Propagates array errors other than placement failure.
+    pub fn prefetch(&mut self, spec: impl Into<KernelSpec>) -> XppResult<bool> {
+        self.cm.prefetch(&mut self.array, &spec.into())
+    }
+
+    /// Unloads the kernel's configuration if resident; returns whether it
+    /// was.
     ///
     /// # Errors
     ///
     /// Returns an error if the array rejects the unload.
-    pub fn deactivate(&mut self, name: &str) -> XppResult<bool> {
-        match self.resident.iter().position(|(n, _)| n == name) {
-            Some(pos) => {
-                let (_, id) = self.resident.remove(pos);
-                self.array.unload(id)?;
-                Ok(true)
-            }
-            None => Ok(false),
-        }
+    pub fn deactivate(&mut self, spec: impl Into<KernelSpec>) -> XppResult<bool> {
+        let name = spec.into().config_name();
+        self.cm.deactivate(&mut self.array, &name)
     }
 
     /// The Fig. 10 swap: unloads `from` (if resident) and activates `to`
     /// in the freed resources. Counted as a runtime reconfiguration when
-    /// an unload actually happened.
+    /// an unload actually happened; the array cycles the session waited
+    /// on the swap are recorded in `reconfig_cycles` (~0 when `to` was
+    /// prefetched).
     ///
     /// # Errors
     ///
     /// Returns an error if the unload or the activation fails.
-    pub fn swap<F: FnOnce() -> Netlist>(
+    pub fn swap(
         &mut self,
-        from: &str,
-        to: &str,
-        build: F,
+        from: impl Into<KernelSpec>,
+        to: impl Into<KernelSpec>,
     ) -> XppResult<ConfigId> {
+        let cycles_before = self.array.stats().cycles;
         let unloaded = self.deactivate(from)?;
         if unloaded {
             Metrics::incr(&self.metrics.reconfigurations);
         }
-        self.activate(to, build)
+        let id = self.activate(to)?;
+        Metrics::add(
+            &self.metrics.reconfig_cycles,
+            self.array.stats().cycles - cycles_before,
+        );
+        Ok(id)
     }
 }
 
@@ -181,7 +162,8 @@ pub struct PoolConfig {
     pub shards: usize,
     /// Bounded depth of each shard's submission queue.
     pub queue_depth: usize,
-    /// Netlists each worker may cache.
+    /// Compiled configurations the process-wide store may hold (shared by
+    /// every worker).
     pub cache_capacity: usize,
     /// Start every worker paused (deterministic backpressure tests);
     /// resume with [`ShardPool::resume`].
@@ -302,6 +284,9 @@ impl ShardPool {
         assert!(config.shards > 0, "pool needs at least one shard");
         assert!(config.queue_depth > 0, "queue depth must be positive");
         let (results_tx, results) = mpsc::channel();
+        // One compiled-config store for the whole pool: a kernel is built
+        // and placed once per process, whichever shard first needs it.
+        let store = Arc::new(ConfigStore::new(config.cache_capacity));
         let shards = (0..config.shards)
             .map(|_| {
                 let (tx, rx) = mpsc::sync_channel::<Session>(config.queue_depth);
@@ -313,9 +298,9 @@ impl ShardPool {
                     let depth = Arc::clone(&depth);
                     let pause = Arc::clone(&pause);
                     let metrics = Arc::clone(&metrics);
-                    let cache_capacity = config.cache_capacity;
+                    let store = Arc::clone(&store);
                     std::thread::spawn(move || {
-                        worker_loop(rx, results_tx, depth, pause, metrics, cache_capacity)
+                        worker_loop(rx, results_tx, depth, pause, metrics, store)
                     })
                 };
                 ShardHandle {
@@ -436,9 +421,9 @@ fn worker_loop(
     depth: Arc<AtomicU64>,
     pause: Arc<PauseGate>,
     metrics: Arc<Metrics>,
-    cache_capacity: usize,
+    store: Arc<ConfigStore>,
 ) {
-    let mut worker = WorkerArray::new(cache_capacity, Arc::clone(&metrics));
+    let mut worker = WorkerArray::with_store(store, Arc::clone(&metrics));
     let mut heap: BinaryHeap<QueuedSession> = BinaryHeap::new();
     let mut seq = 0u64;
     let mut open = true;
@@ -492,53 +477,44 @@ fn worker_loop(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sdr_ofdm::xpp_map::{demodulator_netlist, preamble_detector_netlist};
-    use sdr_wcdma::xpp_map::descrambler_netlist;
+    use sdr_ofdm::xpp_map::OfdmKernel;
+    use sdr_wcdma::xpp_map::WcdmaKernel;
 
     #[test]
-    fn activation_tiers_resident_then_cached() {
+    fn activation_tiers_resident_then_stored() {
         let metrics = Arc::new(Metrics::new());
         let mut w = WorkerArray::new(4, Arc::clone(&metrics));
-        let a = w.activate("fig5-descrambler", descrambler_netlist).unwrap();
-        let b = w.activate("fig5-descrambler", descrambler_netlist).unwrap();
+        let a = w.activate(WcdmaKernel::Descrambler).unwrap();
+        let b = w.activate(WcdmaKernel::Descrambler).unwrap();
         assert_eq!(a, b, "resident activation returns the same handle");
-        assert_eq!(w.cache().misses(), 1, "one build");
+        assert_eq!(w.store().misses(), 1, "one build + compile");
         let snap = metrics.snapshot();
         assert_eq!((snap.cache_hits, snap.cache_misses), (1, 1));
         assert!(snap.config_bus_cycles > 0, "the load paid bus cycles");
     }
 
     #[test]
-    fn swap_counts_a_reconfiguration_and_reuses_cached_netlists() {
+    fn swap_counts_a_reconfiguration_and_reuses_stored_configs() {
         let metrics = Arc::new(Metrics::new());
         let mut w = WorkerArray::new(4, Arc::clone(&metrics));
-        w.activate("fig10-config2a-detector", preamble_detector_netlist)
+        w.activate(OfdmKernel::PreambleDetector).unwrap();
+        w.swap(OfdmKernel::PreambleDetector, OfdmKernel::Demodulator)
             .unwrap();
-        w.swap(
-            "fig10-config2a-detector",
-            "fig10-config2b-demodulator",
-            demodulator_netlist,
-        )
-        .unwrap();
         assert!(!w.is_resident("fig10-config2a-detector"));
         assert!(w.is_resident("fig10-config2b-demodulator"));
-        // Swapping back: the detector netlist comes from the cache.
-        w.swap(
-            "fig10-config2b-demodulator",
-            "fig10-config2a-detector",
-            preamble_detector_netlist,
-        )
-        .unwrap();
+        // Swapping back: the detector config comes from the store.
+        w.swap(OfdmKernel::Demodulator, OfdmKernel::PreambleDetector)
+            .unwrap();
         assert_eq!(metrics.snapshot().reconfigurations, 2);
-        assert_eq!(w.cache().misses(), 2, "each netlist built exactly once");
-        assert_eq!(w.cache().hits(), 1, "re-activation served from the cache");
+        assert_eq!(w.store().misses(), 2, "each kernel compiled exactly once");
+        assert_eq!(w.store().hits(), 1, "re-activation served from the store");
     }
 
     #[test]
     fn swap_without_resident_source_still_activates() {
         let metrics = Arc::new(Metrics::new());
         let mut w = WorkerArray::new(4, Arc::clone(&metrics));
-        w.swap("not-loaded", "fig5-descrambler", descrambler_netlist)
+        w.swap(OfdmKernel::Demodulator, WcdmaKernel::Descrambler)
             .unwrap();
         assert!(w.is_resident("fig5-descrambler"));
         assert_eq!(
@@ -546,5 +522,38 @@ mod tests {
             0,
             "nothing was unloaded"
         );
+    }
+
+    #[test]
+    fn prefetched_swap_pays_no_array_cycles() {
+        let metrics = Arc::new(Metrics::new());
+        let mut w = WorkerArray::new(4, Arc::clone(&metrics));
+        w.activate(OfdmKernel::PreambleDetector).unwrap();
+        assert!(w.prefetch(OfdmKernel::Demodulator).unwrap());
+        // Run the detector long enough for the demodulator's bus load to
+        // stream in the background.
+        for _ in 0..1_000 {
+            w.array_mut().step();
+        }
+        w.swap(OfdmKernel::PreambleDetector, OfdmKernel::Demodulator)
+            .unwrap();
+        let snap = metrics.snapshot();
+        assert_eq!(snap.prefetch_hits, 1, "swap served from the prefetch");
+        assert_eq!(
+            snap.reconfig_cycles, 0,
+            "a fully overlapped swap waits zero array cycles"
+        );
+    }
+
+    #[test]
+    fn workers_share_one_store_across_shards() {
+        let metrics = Arc::new(Metrics::new());
+        let store = Arc::new(ConfigStore::new(4));
+        let mut w1 = WorkerArray::with_store(Arc::clone(&store), Arc::clone(&metrics));
+        let mut w2 = WorkerArray::with_store(Arc::clone(&store), Arc::clone(&metrics));
+        w1.activate(WcdmaKernel::Descrambler).unwrap();
+        w2.activate(WcdmaKernel::Descrambler).unwrap();
+        assert_eq!(store.misses(), 1, "second worker reused the compile");
+        assert_eq!(store.hits(), 1);
     }
 }

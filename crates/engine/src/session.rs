@@ -25,6 +25,8 @@ use xpp_array::{Result as XppResult, Word};
 
 use crate::metrics::{KernelKind, Metrics};
 use crate::pool::WorkerArray;
+use ofdm::xpp_map::OfdmKernel;
+use wcdma::xpp_map::WcdmaKernel;
 
 use ofdm::params::{data_subcarriers, rate, subcarrier_to_bin, RateParams, CP_LEN};
 use ofdm::rx::OfdmReceiver;
@@ -361,11 +363,7 @@ impl OfdmTerminal {
     /// The Fig. 10 swap (2a out, 2b in), slicing of the first data symbol
     /// through 2b, and full golden decode of the payload.
     fn demodulate(&mut self, worker: &mut WorkerArray) -> XppResult<SessionState> {
-        let cfg2b = worker.swap(
-            "fig10-config2a-detector",
-            "fig10-config2b-demodulator",
-            ofdm::xpp_map::demodulator_netlist,
-        )?;
+        let cfg2b = worker.swap(OfdmKernel::PreambleDetector, OfdmKernel::Demodulator)?;
 
         let sync = OfdmReceiver::new(self.rate);
         let Some(long_start) = sync.fine_timing(&self.rx, self.coarse) else {
@@ -429,7 +427,7 @@ fn run_descrambler(
     delay: usize,
     n: usize,
 ) -> XppResult<Vec<Cplx<i32>>> {
-    let cfg = worker.activate("fig5-descrambler", wcdma::xpp_map::descrambler_netlist)?;
+    let cfg = worker.activate(WcdmaKernel::Descrambler)?;
     let before = worker.array().stats().cycles;
     let fires_before = worker.array().config_fire_count(cfg);
     let (i, q) = split_iq(&rx[delay..delay + n]);
@@ -457,13 +455,10 @@ fn run_despreader(
     sf: usize,
     code_index: usize,
 ) -> XppResult<Vec<Cplx<i32>>> {
-    // The netlist name (and thus the cache key) carries only the spreading
-    // factor: every engine session uses the default cell's OVSF code, so
-    // one cached despreader serves them all.
-    let name = format!("fig6-despreader-sf{sf}");
-    let cfg = worker.activate(&name, || {
-        wcdma::xpp_map::despreader_single_netlist(sf, code_index)
-    })?;
+    // The kernel spec carries the spreading factor and OVSF code index —
+    // every parameter that shapes the netlist — so sessions with the same
+    // cell parameters share one stored compile.
+    let cfg = worker.activate(WcdmaKernel::Despreader { sf, code_index })?;
     let before = worker.array().stats().cycles;
     let fires_before = worker.array().config_fire_count(cfg);
     let n_sym = chips.len() / sf;
@@ -485,10 +480,12 @@ fn run_despreader(
 
 fn run_preamble_detector(worker: &mut WorkerArray, rx: &[Cplx<i32>]) -> XppResult<Vec<i32>> {
     use ofdm::rx::{AUTOCORR_LAG, AUTOCORR_WINDOW};
-    let cfg = worker.activate(
-        "fig10-config2a-detector",
-        ofdm::xpp_map::preamble_detector_netlist,
-    )?;
+    let cfg = worker.activate(OfdmKernel::PreambleDetector)?;
+    // Fig. 10: a successful search is followed by the 2a→2b swap, so start
+    // streaming the demodulator over the configuration bus *now* — the
+    // load overlaps the preamble search below, and the swap pays only
+    // activation.
+    worker.prefetch(OfdmKernel::Demodulator)?;
     let before = worker.array().stats().cycles;
     let fires_before = worker.array().config_fire_count(cfg);
     // A resident detector keeps the previous terminal's tail in its delay

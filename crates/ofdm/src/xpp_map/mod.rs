@@ -10,7 +10,51 @@ pub use frontend::{
 };
 
 use sdr_dsp::Cplx;
-use xpp_array::Word;
+use xpp_array::{Netlist, Word};
+
+/// Registry of the crate's array kernels (paper Figs. 9/10) under stable
+/// identities, mirroring the wcdma crate's `WcdmaKernel` registry: a
+/// configuration manager keys its compiled-config cache by
+/// [`config_name`](OfdmKernel::config_name) and calls
+/// [`build`](OfdmKernel::build) only on a miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OfdmKernel {
+    /// Fig. 10 configuration 2a: short-preamble autocorrelation detector.
+    PreambleDetector,
+    /// Fig. 10 configuration 2b: equalize-and-slice demodulator.
+    Demodulator,
+    /// Fig. 9 receive frontend (downsampler + FFT).
+    Frontend { stage_shift: u32 },
+    /// Fig. 9 half-band downsampler alone.
+    Downsampler,
+    /// Fig. 9 radix-2 64-point FFT alone.
+    Fft64 { stage_shift: u32 },
+}
+
+impl OfdmKernel {
+    /// Stable cache key: kernel id plus every netlist-shaping parameter.
+    pub fn config_name(&self) -> String {
+        match self {
+            OfdmKernel::PreambleDetector => "fig10-config2a-detector".to_string(),
+            OfdmKernel::Demodulator => "fig10-config2b-demodulator".to_string(),
+            OfdmKernel::Frontend { stage_shift } => format!("fig9-frontend-s{stage_shift}"),
+            OfdmKernel::Downsampler => "fig9-downsampler".to_string(),
+            OfdmKernel::Fft64 { stage_shift } => format!("fig9-fft64-s{stage_shift}"),
+        }
+    }
+
+    /// Builds the kernel's netlist (the expensive step a compiled-config
+    /// cache avoids repeating).
+    pub fn build(&self) -> Netlist {
+        match *self {
+            OfdmKernel::PreambleDetector => preamble_detector_netlist(),
+            OfdmKernel::Demodulator => demodulator_netlist(),
+            OfdmKernel::Frontend { stage_shift } => frontend_netlist(stage_shift),
+            OfdmKernel::Downsampler => downsampler_netlist(),
+            OfdmKernel::Fft64 { stage_shift } => fft64_netlist(stage_shift),
+        }
+    }
+}
 
 /// Splits a complex integer stream into parallel I and Q word streams.
 pub(crate) fn split_iq(samples: &[Cplx<i32>]) -> (Vec<Word>, Vec<Word>) {

@@ -23,7 +23,59 @@ pub use despreader::{
 };
 
 use sdr_dsp::Cplx;
-use xpp_array::Word;
+use xpp_array::{Netlist, Word};
+
+/// Registry of the crate's array kernels: every `*_netlist` constructor,
+/// addressable by a stable identity instead of a function pointer.
+///
+/// A configuration manager keys its compiled-config cache by
+/// [`config_name`](WcdmaKernel::config_name) — kernel id plus every
+/// parameter that changes the generated netlist — and calls
+/// [`build`](WcdmaKernel::build) only on a cache miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WcdmaKernel {
+    /// Fig. 5 complex descrambler.
+    Descrambler,
+    /// Fig. 6 single-code despreader.
+    Despreader { sf: usize, code_index: usize },
+    /// Fig. 6 finger-multiplexed despreader.
+    MultiplexedDespreader { fingers: usize, sf: usize },
+    /// Fig. 7 MRC channel corrector.
+    Corrector { fingers: usize },
+    /// Fig. 7 STTD-decoding corrector.
+    SttdCorrector,
+}
+
+impl WcdmaKernel {
+    /// Stable cache key: kernel id plus every netlist-shaping parameter.
+    pub fn config_name(&self) -> String {
+        match self {
+            WcdmaKernel::Descrambler => "fig5-descrambler".to_string(),
+            WcdmaKernel::Despreader { sf, code_index } => {
+                format!("fig6-despreader-sf{sf}-c{code_index}")
+            }
+            WcdmaKernel::MultiplexedDespreader { fingers, sf } => {
+                format!("fig6-despreader-mux{fingers}-sf{sf}")
+            }
+            WcdmaKernel::Corrector { fingers } => format!("fig7-corrector-f{fingers}"),
+            WcdmaKernel::SttdCorrector => "fig7-sttd-corrector".to_string(),
+        }
+    }
+
+    /// Builds the kernel's netlist (the expensive step a compiled-config
+    /// cache avoids repeating).
+    pub fn build(&self) -> Netlist {
+        match *self {
+            WcdmaKernel::Descrambler => descrambler_netlist(),
+            WcdmaKernel::Despreader { sf, code_index } => despreader_single_netlist(sf, code_index),
+            WcdmaKernel::MultiplexedDespreader { fingers, sf } => {
+                despreader_multiplexed_netlist(fingers, sf)
+            }
+            WcdmaKernel::Corrector { fingers } => corrector_netlist(fingers),
+            WcdmaKernel::SttdCorrector => sttd_corrector_netlist(),
+        }
+    }
+}
 
 /// Splits a complex integer stream into parallel I and Q word streams.
 pub(crate) fn split_iq(samples: &[Cplx<i32>]) -> (Vec<Word>, Vec<Word>) {

@@ -13,7 +13,7 @@
 //! # Event-driven stepping
 //!
 //! Because objects fire only when a token arrives or output space frees up,
-//! the simulator schedules work instead of scanning it: a [`Scheduler`] keeps
+//! the simulator schedules work instead of scanning it: a `Scheduler` keeps
 //! a ready list of objects whose adjacent channels moved tokens last cycle
 //! (plus any object touched by external I/O or a configuration load), and the
 //! commit phase walks only the channels that actually staged movement. Fire
@@ -21,13 +21,14 @@
 //! restricting the fire scan to woken objects is exact, not heuristic: an
 //! unwoken object could not have fired anyway. The original scan-the-world
 //! stepper is retained behind the `reference` feature (and in tests) as the
-//! semantic oracle; both steppers share [`fire_object`], so they can only
+//! semantic oracle; both steppers share `fire_object`, so they can only
 //! differ in *which* objects they visit, never in what firing does.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
 
 use crate::channel::Channel;
+use crate::compiled::{CompiledConfig, PortDir};
 use crate::error::{Error, Result};
 use crate::netlist::Netlist;
 use crate::object::{CounterCfg, ObjectKind, RAM_WORDS};
@@ -83,14 +84,6 @@ impl fmt::Display for ConfigId {
 enum ConfigState {
     Loading { remaining: u64 },
     Running,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum PortDir {
-    DataIn,
-    DataOut,
-    EvIn,
-    EvOut,
 }
 
 #[derive(Debug)]
@@ -413,40 +406,49 @@ impl Array {
     ///
     /// Returns [`Error::PlacementFailed`] if any resource class is exhausted.
     pub fn configure(&mut self, netlist: &Netlist) -> Result<ConfigId> {
-        let placement = Placement::of(netlist);
-        self.pool.allocate(placement.counts)?;
+        self.configure_compiled(&CompiledConfig::compile(netlist))
+    }
+
+    /// Loads a pre-compiled configuration: the load-time half of
+    /// [`configure`](Array::configure).
+    ///
+    /// Placement footprint and port maps were computed by
+    /// [`CompiledConfig::compile`]; this call only allocates array
+    /// resources, instantiates channels and objects from the compiled
+    /// templates, and queues the serial configuration-bus load. A
+    /// configuration manager holding `Arc<CompiledConfig>`s pays the
+    /// compile cost once per kernel, not once per load.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::PlacementFailed`] if any resource class is exhausted.
+    pub fn configure_compiled(&mut self, compiled: &CompiledConfig) -> Result<ConfigId> {
+        self.pool.allocate(compiled.placement.counts)?;
         let id = self.next_id;
         self.next_id += 1;
 
-        // Instantiate channels.
-        let mut d_map: HashMap<(usize, usize), Vec<usize>> = HashMap::new(); // from-port -> chans
-        let mut d_in: HashMap<(usize, usize), usize> = HashMap::new(); // to-port -> chan
-        let mut dchan_ids = Vec::new();
-        for e in &netlist.data_edges {
+        // Instantiate channels from the compiled edge templates, in the same
+        // order the one-shot path used (data edges, then event edges) so
+        // slot reuse — and therefore every downstream stat — is unchanged.
+        let mut dchan_ids = Vec::with_capacity(compiled.d_edges.len());
+        for e in &compiled.d_edges {
             let idx = self.alloc_dchan(Channel::new(e.capacity, e.initial.iter().copied()));
             dchan_ids.push(idx);
-            d_map.entry(e.from).or_default().push(idx);
-            d_in.insert(e.to, idx);
         }
-        let mut e_map: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
-        let mut e_in: HashMap<(usize, usize), usize> = HashMap::new();
-        let mut echan_ids = Vec::new();
-        for e in &netlist.ev_edges {
+        let mut echan_ids = Vec::with_capacity(compiled.e_edges.len());
+        for e in &compiled.e_edges {
             let idx = self.alloc_echan(Channel::new(
                 e.capacity,
                 e.initial.iter().map(|&b| Event(b)),
             ));
             echan_ids.push(idx);
-            e_map.entry(e.from).or_default().push(idx);
-            e_in.insert(e.to, idx);
         }
 
-        // Instantiate objects.
-        let mut obj_ids = Vec::new();
-        let mut ports = HashMap::new();
-        for (n, spec) in netlist.nodes.iter().enumerate() {
-            let shape = spec.kind.shape();
-            let state = match &spec.kind {
+        // Instantiate objects, translating the compiled netlist-local
+        // channel indices into the array slots just allocated.
+        let mut obj_ids = Vec::with_capacity(compiled.nodes.len());
+        for node in &compiled.nodes {
+            let state = match &node.kind {
                 ObjectKind::Counter(_) => ObjState::Counter {
                     value: 0,
                     remaining: 0,
@@ -467,24 +469,26 @@ impl Array {
                 _ => ObjState::None,
             };
             let mut din = [None; 3];
-            for (p, slot) in din.iter_mut().enumerate().take(shape.din) {
-                *slot = d_in.get(&(n, p)).map(|&c| c as u32);
+            for (slot, local) in din.iter_mut().zip(node.din.iter()) {
+                *slot = local.map(|k| dchan_ids[k as usize] as u32);
             }
             let mut dout: [PortList; 2] = Default::default();
-            for (p, list) in dout.iter_mut().enumerate().take(shape.dout) {
-                *list = PortList::from_chans(d_map.get(&(n, p)).cloned().unwrap_or_default());
+            for (list, locals) in dout.iter_mut().zip(node.dout.iter()) {
+                *list =
+                    PortList::from_chans(locals.iter().map(|&k| dchan_ids[k as usize]).collect());
             }
             let mut evin = [None; 2];
-            for (p, slot) in evin.iter_mut().enumerate().take(shape.evin) {
-                *slot = e_in.get(&(n, p)).map(|&c| c as u32);
+            for (slot, local) in evin.iter_mut().zip(node.evin.iter()) {
+                *slot = local.map(|k| echan_ids[k as usize] as u32);
             }
             let mut evout: [PortList; 1] = Default::default();
-            for (p, list) in evout.iter_mut().enumerate().take(shape.evout) {
-                *list = PortList::from_chans(e_map.get(&(n, p)).cloned().unwrap_or_default());
+            for (list, locals) in evout.iter_mut().zip(node.evout.iter()) {
+                *list =
+                    PortList::from_chans(locals.iter().map(|&k| echan_ids[k as usize]).collect());
             }
             let obj = RuntimeObject {
-                kind: spec.kind.clone(),
-                label: spec.label.clone(),
+                kind: node.kind.clone(),
+                label: node.label.clone(),
                 state,
                 fires: 0,
                 enabled: false,
@@ -493,44 +497,35 @@ impl Array {
                 evin,
                 evout,
             };
-            let oid = self.alloc_object(obj);
-            obj_ids.push(oid);
-            match &spec.kind {
-                ObjectKind::Input(name) => {
-                    ports.insert(name.clone(), (oid, PortDir::DataIn));
-                }
-                ObjectKind::Output(name) => {
-                    ports.insert(name.clone(), (oid, PortDir::DataOut));
-                }
-                ObjectKind::InputEvent(name) => {
-                    ports.insert(name.clone(), (oid, PortDir::EvIn));
-                }
-                ObjectKind::OutputEvent(name) => {
-                    ports.insert(name.clone(), (oid, PortDir::EvOut));
-                }
-                _ => {}
-            }
+            obj_ids.push(self.alloc_object(obj));
         }
+
+        let ports = compiled
+            .ports
+            .iter()
+            .map(|(name, n, dir)| (name.clone(), (obj_ids[*n], *dir)))
+            .collect();
 
         // Record channel→object adjacency now that object slots are known:
         // this is what lets a commit wake exactly the two endpoints.
-        for (k, e) in netlist.data_edges.iter().enumerate() {
+        for (k, e) in compiled.d_edges.iter().enumerate() {
             self.d_adj[dchan_ids[k]] = (obj_ids[e.from.0], obj_ids[e.to.0]);
         }
-        for (k, e) in netlist.ev_edges.iter().enumerate() {
+        for (k, e) in compiled.e_edges.iter().enumerate() {
             self.e_adj[echan_ids[k]] = (obj_ids[e.from.0], obj_ids[e.to.0]);
         }
 
-        let remaining = netlist.object_count() as u64 * CONFIG_CYCLES_PER_OBJECT;
         self.configs.insert(
             id,
             LoadedConfig {
-                name: netlist.name().to_string(),
-                state: ConfigState::Loading { remaining },
+                name: compiled.name.clone(),
+                state: ConfigState::Loading {
+                    remaining: compiled.load_cycles,
+                },
                 objects: obj_ids,
                 dchans: dchan_ids,
                 echans: echan_ids,
-                placement,
+                placement: compiled.placement.clone(),
                 ports,
             },
         );

@@ -47,6 +47,7 @@
 
 pub mod array;
 pub mod channel;
+pub mod compiled;
 pub mod error;
 pub mod netlist;
 pub mod object;
@@ -56,6 +57,7 @@ pub mod stats;
 pub mod word;
 
 pub use array::{Array, ConfigId, CONFIG_CYCLES_PER_OBJECT};
+pub use compiled::CompiledConfig;
 pub use error::{Error, Result};
 pub use netlist::{
     CounterPorts, DataIn, DataOut, EvIn, EvOut, FifoPorts, Netlist, NetlistBuilder, NodeId,
