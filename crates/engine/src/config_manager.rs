@@ -45,7 +45,7 @@
 //!   eviction, least recently used first) releases the resources.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use sdr_ofdm::xpp_map::OfdmKernel;
 use sdr_wcdma::xpp_map::WcdmaKernel;
@@ -157,6 +157,14 @@ impl ConfigStore {
         }
     }
 
+    /// Locks the store, recovering from poisoning: a worker that panicked
+    /// mid-lookup cannot have left the entries inconsistent (the mutations
+    /// are single `Vec` operations), so the supervisor's replacement
+    /// workers keep sharing the store instead of cascading the panic.
+    fn lock(&self) -> MutexGuard<'_, StoreInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Returns the compiled config for `name`, building and compiling it
     /// with `build` on a miss. The LRU entry is evicted when full.
     pub fn get_or_compile<F: FnOnce() -> Netlist>(
@@ -164,7 +172,7 @@ impl ConfigStore {
         name: &str,
         build: F,
     ) -> (Arc<CompiledConfig>, StoreLookup) {
-        let mut inner = self.inner.lock().expect("config store poisoned");
+        let mut inner = self.lock();
         inner.tick += 1;
         let tick = inner.tick;
         if let Some(entry) = inner.entries.iter_mut().find(|e| e.name == name) {
@@ -182,16 +190,17 @@ impl ConfigStore {
         self.misses.fetch_add(1, Ordering::Relaxed);
         let mut evicted = false;
         if inner.entries.len() == self.capacity {
-            let lru = inner
+            if let Some(lru) = inner
                 .entries
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(i, _)| i)
-                .expect("store is full, so nonempty");
-            inner.entries.swap_remove(lru);
-            self.evictions.fetch_add(1, Ordering::Relaxed);
-            evicted = true;
+            {
+                inner.entries.swap_remove(lru);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                evicted = true;
+            }
         }
         let config = Arc::new(CompiledConfig::compile(&build()));
         inner.entries.push(StoreEntry {
@@ -210,17 +219,12 @@ impl ConfigStore {
 
     /// Whether `name` is currently stored (no LRU touch).
     pub fn contains(&self, name: &str) -> bool {
-        let inner = self.inner.lock().expect("config store poisoned");
-        inner.entries.iter().any(|e| e.name == name)
+        self.lock().entries.iter().any(|e| e.name == name)
     }
 
     /// Number of stored compiled configs.
     pub fn len(&self) -> usize {
-        self.inner
-            .lock()
-            .expect("config store poisoned")
-            .entries
-            .len()
+        self.lock().entries.len()
     }
 
     /// True when nothing is stored.
@@ -323,7 +327,10 @@ impl ConfigManager {
     /// # Errors
     ///
     /// Returns an error if placement fails even after unloading every
-    /// other resident configuration.
+    /// other resident configuration, or a typed fault error
+    /// ([`Error::is_fault`](xpp_array::Error::is_fault)) when the load went
+    /// wrong — the faulted residue is already unloaded, so the caller can
+    /// simply retry.
     pub fn activate(&mut self, array: &mut Array, spec: &KernelSpec) -> XppResult<ConfigId> {
         let name = spec.config_name();
         if let Some(pos) = self.resident.iter().position(|r| r.name == name) {
@@ -334,8 +341,10 @@ impl ConfigManager {
                 }
                 CmState::Loading => {
                     // Prefetch hit: the bus may still be streaming; pay
-                    // only what the overlap didn't already hide.
-                    Self::finish_load(array, entry.id, &self.metrics);
+                    // only what the overlap didn't already hide. A faulted
+                    // load was disposed of inside finish_load — drop the
+                    // entry and surface the error.
+                    Self::finish_load(array, entry.id, &self.metrics)?;
                     entry.state = CmState::Active;
                     Metrics::incr(&self.metrics.prefetch_hits);
                 }
@@ -355,7 +364,8 @@ impl ConfigManager {
             Metrics::incr(&self.metrics.cache_evictions);
         }
         let id = self.place_with_eviction(array, &compiled)?;
-        Self::finish_load(array, id, &self.metrics);
+        Self::finish_load(array, id, &self.metrics)?;
+        Metrics::add(&self.metrics.config_words_demand, compiled.load_cycles());
         self.resident.push(Resident {
             name,
             id,
@@ -398,6 +408,10 @@ impl ConfigManager {
             Err(e) => return Err(e),
         };
         Metrics::incr(&self.metrics.prefetches);
+        Metrics::add(
+            &self.metrics.config_words_prefetched,
+            compiled.load_cycles(),
+        );
         self.resident.push(Resident {
             name,
             id,
@@ -416,6 +430,7 @@ impl ConfigManager {
         match self.resident.iter().position(|r| r.name == name) {
             Some(pos) => {
                 let entry = self.resident.remove(pos);
+                Self::surface_fault(array, entry.id, &self.metrics);
                 array.unload(entry.id)?;
                 Ok(true)
             }
@@ -433,6 +448,7 @@ impl ConfigManager {
                 Ok(id) => return Ok(id),
                 Err(XppError::PlacementFailed { .. }) if !self.resident.is_empty() => {
                     let lru = self.resident.remove(0);
+                    Self::surface_fault(array, lru.id, &self.metrics);
                     array.unload(lru.id)?;
                     Metrics::incr(&self.metrics.cache_evictions);
                 }
@@ -441,17 +457,51 @@ impl ConfigManager {
         }
     }
 
+    /// Counts the injected-fault record of a configuration about to be
+    /// disposed of, so every injected fault shows up as detected (and its
+    /// disposal as a recovery) exactly once — even a stalled or faulted
+    /// prefetch that is evicted before anyone activates it.
+    fn surface_fault(array: &mut Array, id: ConfigId, metrics: &Metrics) {
+        if array.clear_injected_fault(id) {
+            Metrics::incr(&metrics.faults_detected);
+            Metrics::incr(&metrics.recoveries);
+        }
+    }
+
     /// Streams the remaining configuration-bus cycles of `id`, recording
     /// them as load latency the sessions actually waited for.
-    fn finish_load(array: &mut Array, id: ConfigId, metrics: &Metrics) {
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed fault error of a corrupted or aborted load. The
+    /// faulted residue is unloaded (and counted as a detected fault)
+    /// before returning, so the array is clean for a retry.
+    fn finish_load(array: &mut Array, id: ConfigId, metrics: &Metrics) -> XppResult<()> {
         let bus_before = array.stats().config_cycles;
-        while !array.is_running(id) {
+        loop {
+            if array.is_running(id) {
+                break;
+            }
+            if let Some(err) = array.load_error(id) {
+                // Surfacing the typed error counts as the detection; the
+                // caller decides between retry and dead-letter, so the
+                // recovery/dead-letter counters are theirs to bump.
+                array.clear_injected_fault(id);
+                Metrics::incr(&metrics.faults_detected);
+                Metrics::add(
+                    &metrics.config_bus_cycles,
+                    array.stats().config_cycles - bus_before,
+                );
+                array.unload(id)?;
+                return Err(err);
+            }
             array.step();
         }
         Metrics::add(
             &metrics.config_bus_cycles,
             array.stats().config_cycles - bus_before,
         );
+        Ok(())
     }
 }
 

@@ -21,7 +21,15 @@
 //!
 //! [`Engine`] ties them together: admission control via
 //! [`sdr_core::scheduler::schedule_edf`], then a submit/collect loop that
-//! re-queues sessions until every terminal reaches a terminal state.
+//! re-queues sessions until every terminal reaches a terminal state. The
+//! loop is *supervised*: a worker panic restarts that shard with a fresh
+//! array and re-dispatches the session with exponential backoff (bounded
+//! by [`pool::RecoveryPolicy::max_session_attempts`], then dead-letter),
+//! and an over-capacity backlog sheds its least-urgent session with an
+//! explicit [`SessionState::Shed`] outcome instead of queueing without
+//! bound. With the `faults` cargo feature a deterministic
+//! `FaultPlan` (`xpp_array::fault`) can be injected pool-wide to exercise
+//! exactly these paths.
 //!
 //! ```
 //! use sdr_engine::{Engine, EngineConfig, Session};
@@ -33,6 +41,8 @@
 //! println!("{}", summary.snapshot);
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod config_manager;
 pub mod metrics;
 pub mod pool;
@@ -40,19 +50,21 @@ pub mod session;
 
 pub use config_manager::{CmState, ConfigManager, ConfigStore, KernelSpec};
 pub use metrics::{KernelKind, Metrics, Snapshot};
-pub use pool::{PoolConfig, ShardPool, SubmitError, WorkerArray};
+pub use pool::{PoolConfig, RecoveryPolicy, ShardPool, SubmitError, WorkerArray};
 pub use session::{Session, SessionState, Standard};
 
 use std::collections::VecDeque;
 use std::sync::Arc;
 
 use sdr_core::scheduler::{schedule_edf, ScheduleReport};
+#[cfg(feature = "faults")]
+use xpp_array::fault::FaultPlan;
 
 /// EDF admission-control horizon in array cycles (two W-CDMA slots).
 pub const ADMISSION_HORIZON_CYCLES: u64 = 2 * session::WCDMA_PERIOD_CYCLES;
 
 /// Engine sizing. Mirrors [`PoolConfig`] minus the test-only pause knob.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EngineConfig {
     /// Worker shards (one array each).
     pub shards: usize,
@@ -60,6 +72,15 @@ pub struct EngineConfig {
     pub queue_depth: usize,
     /// Compiled configurations the process-wide store may hold.
     pub cache_capacity: usize,
+    /// Supervision tuning: retry budgets, crash backoff, watchdog grant.
+    pub recovery: RecoveryPolicy,
+    /// Backlog length above which admission pressure sheds the
+    /// least-urgent (latest-deadline) waiting session instead of queueing
+    /// it. The default (`usize::MAX`) never sheds.
+    pub shed_backlog: usize,
+    /// Deterministic pool-wide fault plan (`None` injects nothing).
+    #[cfg(feature = "faults")]
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for EngineConfig {
@@ -69,6 +90,10 @@ impl Default for EngineConfig {
             shards: p.shards,
             queue_depth: p.queue_depth,
             cache_capacity: p.cache_capacity,
+            recovery: p.recovery,
+            shed_backlog: usize::MAX,
+            #[cfg(feature = "faults")]
+            fault_plan: None,
         }
     }
 }
@@ -76,7 +101,8 @@ impl Default for EngineConfig {
 /// What a [`Engine::run`] call produced.
 #[derive(Debug)]
 pub struct RunSummary {
-    /// Sessions that reached `Done` or `Failed`, in completion order.
+    /// Sessions that reached a terminal state (`Done`, `Failed`, `Shed`
+    /// or `DeadLettered`), in completion order.
     pub completed: Vec<Session>,
     /// Per-shard EDF admission reports for the offered load.
     pub admission: Vec<ScheduleReport>,
@@ -98,9 +124,28 @@ impl RunSummary {
             .count()
     }
 
-    /// Sessions that ended in `Failed`.
+    /// Sessions that ended in `Failed` (wrong bits, pipeline errors).
     pub fn failed(&self) -> usize {
-        self.completed.len() - self.done()
+        self.completed
+            .iter()
+            .filter(|s| matches!(s.state(), SessionState::Failed(_)))
+            .count()
+    }
+
+    /// Sessions shed by admission pressure.
+    pub fn shed(&self) -> usize {
+        self.completed
+            .iter()
+            .filter(|s| *s.state() == SessionState::Shed)
+            .count()
+    }
+
+    /// Sessions dead-lettered after exhausting recovery attempts.
+    pub fn dead_lettered(&self) -> usize {
+        self.completed
+            .iter()
+            .filter(|s| matches!(s.state(), SessionState::DeadLettered(_)))
+            .count()
     }
 }
 
@@ -108,6 +153,8 @@ impl RunSummary {
 pub struct Engine {
     pool: ShardPool,
     metrics: Arc<Metrics>,
+    recovery: RecoveryPolicy,
+    shed_backlog: usize,
 }
 
 impl Engine {
@@ -120,10 +167,18 @@ impl Engine {
                 queue_depth: config.queue_depth,
                 cache_capacity: config.cache_capacity,
                 start_paused: false,
+                recovery: config.recovery,
+                #[cfg(feature = "faults")]
+                fault_plan: config.fault_plan,
             },
             Arc::clone(&metrics),
         );
-        Engine { pool, metrics }
+        Engine {
+            pool,
+            metrics,
+            recovery: config.recovery,
+            shed_backlog: config.shed_backlog,
+        }
     }
 
     /// The shared metrics registry.
@@ -145,6 +200,13 @@ impl Engine {
     /// re-queues non-terminal sessions as workers hand them back, and
     /// retries `WouldBlock` rejections after draining results. Returns
     /// once every session is terminal.
+    ///
+    /// Supervision happens here: sessions handed back marked *crashed*
+    /// (their worker panicked and was restarted with a fresh array) are
+    /// re-dispatched with exponential backoff up to the recovery policy's
+    /// session budget, then dead-lettered; and when backpressure leaves
+    /// more than `shed_backlog` sessions waiting, the least-urgent
+    /// (latest-deadline) one is shed outright.
     pub fn run(&mut self, sessions: Vec<Session>) -> RunSummary {
         let shards = self.pool.shard_count();
         let mut shard_jobs = vec![Vec::new(); shards];
@@ -179,6 +241,18 @@ impl Engine {
                     Ok(_) => outstanding += 1,
                     Err(SubmitError::WouldBlock(s)) => {
                         backlog.push_front(s);
+                        // Admission pressure: every queue is full and the
+                        // backlog is over budget — shed the least-urgent
+                        // waiting session rather than queue unboundedly.
+                        while backlog.len() > self.shed_backlog {
+                            let Some(mut victim) = Self::remove_latest_deadline(&mut backlog)
+                            else {
+                                break;
+                            };
+                            victim.mark_shed();
+                            Metrics::incr(&self.metrics.sessions_shed);
+                            completed.push(victim);
+                        }
                         break;
                     }
                     Err(SubmitError::Shutdown(s)) => {
@@ -190,12 +264,30 @@ impl Engine {
                 }
             }
             if outstanding > 0 {
-                let session = self
-                    .pool
-                    .recv()
-                    .expect("workers alive while jobs are in flight");
+                let Some(mut session) = self.pool.recv() else {
+                    // Every worker is gone; nothing more will be handed
+                    // back. Only reachable if the pool died under us.
+                    break;
+                };
                 outstanding -= 1;
-                if session.is_terminal() {
+                if session.take_crashed() {
+                    if session.attempts() > self.recovery.max_session_attempts {
+                        session.mark_dead_lettered(format!(
+                            "crashed {} times; giving up",
+                            session.attempts()
+                        ));
+                        Metrics::incr(&self.metrics.dead_letters);
+                        completed.push(session);
+                    } else {
+                        // The shard already restarted with a fresh array;
+                        // back off briefly and re-dispatch the session.
+                        Metrics::incr(&self.metrics.session_retries);
+                        Metrics::incr(&self.metrics.recoveries);
+                        let exp = session.attempts().saturating_sub(1).min(6);
+                        std::thread::sleep(self.recovery.backoff.saturating_mul(1 << exp));
+                        backlog.push_back(session);
+                    }
+                } else if session.is_terminal() {
                     completed.push(session);
                 } else {
                     backlog.push_back(session);
@@ -204,11 +296,23 @@ impl Engine {
                 std::thread::yield_now();
             }
         }
+        self.pool.sync_fault_metrics();
         RunSummary {
             completed,
             admission,
             snapshot: self.metrics.snapshot(),
         }
+    }
+
+    /// Removes and returns the latest-deadline (EDF least-urgent) session
+    /// from the backlog.
+    fn remove_latest_deadline(backlog: &mut VecDeque<Session>) -> Option<Session> {
+        let idx = backlog
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, s)| s.deadline())
+            .map(|(i, _)| i)?;
+        backlog.remove(idx)
     }
 
     /// Shuts the pool down, returning any sessions still in flight (each

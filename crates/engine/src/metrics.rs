@@ -89,6 +89,31 @@ pub struct Metrics {
     pub queue_high_water: AtomicU64,
     /// Configuration-bus cycles spent loading configurations.
     pub config_bus_cycles: AtomicU64,
+    /// Configuration words streamed for demand (cold or store-hit)
+    /// activations — energy the session waited for.
+    pub config_words_demand: AtomicU64,
+    /// Configuration words streamed for prefetched loads — the same bus
+    /// energy, but hidden behind useful work.
+    pub config_words_prefetched: AtomicU64,
+    /// Faults injected by an attached fault plan (0 without one).
+    pub faults_injected: AtomicU64,
+    /// Faults the recovery layer detected and surfaced (typed load errors,
+    /// cleared stall records, caught worker panics).
+    pub faults_detected: AtomicU64,
+    /// Recovery actions taken: kernel reload retries, watchdog reloads and
+    /// crashed-session re-dispatches.
+    pub recoveries: AtomicU64,
+    /// Zero-fire configurations the watchdog forced out (unload +
+    /// re-activate from the store).
+    pub watchdog_kicks: AtomicU64,
+    /// Crashed sessions re-dispatched to a restarted shard.
+    pub session_retries: AtomicU64,
+    /// Worker shards restarted with a fresh array after a panic.
+    pub worker_restarts: AtomicU64,
+    /// Sessions dead-lettered after exhausting their retry budget.
+    pub dead_letters: AtomicU64,
+    /// Sessions shed under admission pressure (EDF-lowest first).
+    pub sessions_shed: AtomicU64,
     /// Array execution cycles per kernel class.
     kernel_cycles: [AtomicU64; KERNEL_KINDS],
     /// Jobs per kernel class.
@@ -146,6 +171,16 @@ impl Metrics {
             reconfig_cycles: load(&self.reconfig_cycles),
             queue_high_water: load(&self.queue_high_water),
             config_bus_cycles: load(&self.config_bus_cycles),
+            config_words_demand: load(&self.config_words_demand),
+            config_words_prefetched: load(&self.config_words_prefetched),
+            faults_injected: load(&self.faults_injected),
+            faults_detected: load(&self.faults_detected),
+            recoveries: load(&self.recoveries),
+            watchdog_kicks: load(&self.watchdog_kicks),
+            session_retries: load(&self.session_retries),
+            worker_restarts: load(&self.worker_restarts),
+            dead_letters: load(&self.dead_letters),
+            sessions_shed: load(&self.sessions_shed),
             kernel_cycles: std::array::from_fn(|i| load(&self.kernel_cycles[i])),
             kernel_jobs: std::array::from_fn(|i| load(&self.kernel_jobs[i])),
             kernel_fires: std::array::from_fn(|i| load(&self.kernel_fires[i])),
@@ -184,6 +219,26 @@ pub struct Snapshot {
     pub queue_high_water: u64,
     /// Configuration-bus cycles.
     pub config_bus_cycles: u64,
+    /// Configuration words streamed for demand activations.
+    pub config_words_demand: u64,
+    /// Configuration words streamed for prefetched loads.
+    pub config_words_prefetched: u64,
+    /// Faults injected by an attached fault plan.
+    pub faults_injected: u64,
+    /// Faults detected and surfaced by the recovery layer.
+    pub faults_detected: u64,
+    /// Recovery actions taken.
+    pub recoveries: u64,
+    /// Watchdog-forced unload + re-activate cycles.
+    pub watchdog_kicks: u64,
+    /// Crashed sessions re-dispatched.
+    pub session_retries: u64,
+    /// Worker shards restarted after a panic.
+    pub worker_restarts: u64,
+    /// Sessions dead-lettered after exhausting retries.
+    pub dead_letters: u64,
+    /// Sessions shed under admission pressure.
+    pub sessions_shed: u64,
     /// Array cycles per kernel class (indexed by [`KernelKind::index`]).
     pub kernel_cycles: [u64; KERNEL_KINDS],
     /// Jobs per kernel class (indexed by [`KernelKind::index`]).
@@ -211,6 +266,18 @@ impl Snapshot {
     /// Total object fires across all kernel classes.
     pub fn total_kernel_fires(&self) -> u64 {
         self.kernel_fires.iter().sum()
+    }
+
+    /// Configuration-bus energy of the (demand, prefetched) load words
+    /// under the default HCMOS9 energy model, in nanojoules — the
+    /// cold-vs-prefetched reconfiguration trade-off in joules instead of
+    /// cycles.
+    pub fn config_load_energy_nj(&self) -> (f64, f64) {
+        let model = xpp_array::power::EnergyModel::default();
+        (
+            model.config_load_nj(self.config_words_demand),
+            model.config_load_nj(self.config_words_prefetched),
+        )
     }
 }
 
@@ -244,6 +311,22 @@ impl fmt::Display for Snapshot {
             self.cache_misses,
             self.cache_evictions,
             100.0 * self.cache_hit_rate()
+        )?;
+        let (demand_nj, prefetch_nj) = self.config_load_energy_nj();
+        writeln!(
+            f,
+            "  cfg energy  demand  {:>8} words ({:>8.1} nJ)  prefetched {:>8} words ({:>8.1} nJ)",
+            self.config_words_demand, demand_nj, self.config_words_prefetched, prefetch_nj
+        )?;
+        writeln!(
+            f,
+            "  faults      injected {:>7}  detected  {:>8}  recoveries {:>4}  watchdog kicks {:>4}",
+            self.faults_injected, self.faults_detected, self.recoveries, self.watchdog_kicks
+        )?;
+        writeln!(
+            f,
+            "  supervision retries {:>8}  restarts  {:>8}  dead-letters {:>4}  shed {:>4}",
+            self.session_retries, self.worker_restarts, self.dead_letters, self.sessions_shed
         )?;
         writeln!(f, "  kernels")?;
         for kind in KernelKind::ALL {

@@ -10,16 +10,50 @@
 //! [`sdr_core::scheduler::schedule_edf`]).
 
 use std::collections::BinaryHeap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TryRecvError, TrySendError};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
-use xpp_array::{Array, ConfigId, Result as XppResult};
+#[cfg(feature = "faults")]
+use xpp_array::fault::{FaultInjector, FaultPlan};
+use xpp_array::{Array, ConfigId, Error as XppError, Result as XppResult};
 
 use crate::config_manager::{ConfigManager, ConfigStore, KernelSpec};
 use crate::metrics::Metrics;
 use crate::session::Session;
+
+/// Supervision and recovery tuning shared by a pool's workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Kernel activation/run attempts before a fault error is surfaced to
+    /// the session (each retry reloads the configuration from the shared
+    /// [`ConfigStore`]). Clamped to at least 1.
+    pub max_kernel_attempts: u32,
+    /// Times a crashed session is re-dispatched to a restarted shard
+    /// before it is dead-lettered.
+    pub max_session_attempts: u32,
+    /// Base delay between re-dispatches of a crashed session; doubles per
+    /// attempt (exponential backoff).
+    pub backoff: Duration,
+    /// Extra array cycles granted to a configuration that has fired
+    /// nothing before the watchdog declares it wedged and forces an
+    /// unload + reload.
+    pub watchdog_budget: u64,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_kernel_attempts: 3,
+            max_session_attempts: 3,
+            backoff: Duration::from_millis(1),
+            watchdog_budget: 2_000,
+        }
+    }
+}
 
 /// A worker's execution context: its private array plus the
 /// [`ConfigManager`] driving that array's configuration lifecycle.
@@ -42,6 +76,7 @@ pub struct WorkerArray {
     array: Array,
     cm: ConfigManager,
     metrics: Arc<Metrics>,
+    policy: RecoveryPolicy,
 }
 
 impl WorkerArray {
@@ -55,11 +90,30 @@ impl WorkerArray {
     /// Creates a worker context drawing compiled configs from a shared
     /// process-wide store (what [`ShardPool`] workers use).
     pub fn with_store(store: Arc<ConfigStore>, metrics: Arc<Metrics>) -> Self {
+        Self::with_policy(store, metrics, RecoveryPolicy::default())
+    }
+
+    /// Like [`with_store`](WorkerArray::with_store) with an explicit
+    /// recovery policy (retry counts, watchdog budget).
+    pub fn with_policy(
+        store: Arc<ConfigStore>,
+        metrics: Arc<Metrics>,
+        policy: RecoveryPolicy,
+    ) -> Self {
         WorkerArray {
             array: Array::xpp64a(),
             cm: ConfigManager::new(store, Arc::clone(&metrics)),
             metrics,
+            policy,
         }
+    }
+
+    /// Attaches a shared fault injector to this worker's array. The
+    /// injector's load ordinal is global across every array it is attached
+    /// to, so a plan keeps advancing through worker restarts.
+    #[cfg(feature = "faults")]
+    pub fn attach_fault_injector(&mut self, injector: Arc<FaultInjector>) {
+        self.array.attach_fault_injector(injector);
     }
 
     /// The underlying array, for driving I/O on an activated configuration.
@@ -95,12 +149,86 @@ impl WorkerArray {
     /// Ensures the kernel's configuration is loaded and running, and
     /// returns its handle. See the type docs for the activation tiers.
     ///
+    /// Loads that fail with an injected fault (corrupted or aborted bus
+    /// stream) are retried up to the policy's `max_kernel_attempts`: the
+    /// faulted residue was already unloaded by the manager, so each retry
+    /// is a clean reload from the shared store.
+    ///
     /// # Errors
     ///
     /// Returns an error if placement fails even after unloading every
-    /// other resident configuration.
+    /// other resident configuration, or a fault error once the retry
+    /// budget is exhausted.
     pub fn activate(&mut self, spec: impl Into<KernelSpec>) -> XppResult<ConfigId> {
-        self.cm.activate(&mut self.array, &spec.into())
+        let spec = spec.into();
+        let attempts = self.policy.max_kernel_attempts.max(1);
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            match self.cm.activate(&mut self.array, &spec) {
+                Err(e) if e.is_fault() && attempt < attempts => {
+                    // Detection was counted where the load failed; the
+                    // reload we are about to do is the matching recovery.
+                    Metrics::incr(&self.metrics.recoveries);
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Runs a kernel body under the zero-fire watchdog: activates the
+    /// configuration, runs `body`, and if the body times out without the
+    /// configuration having fired a single object, grants it one extra
+    /// `watchdog_budget` of cycles — still silent means the load is wedged
+    /// (e.g. an injected stall), so the configuration is forcibly unloaded
+    /// and the whole attempt retried from the store.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the body's error, or [`XppError::ConfigWedged`] once a
+    /// wedged configuration has exhausted the kernel retry budget.
+    pub fn run_kernel<T>(
+        &mut self,
+        spec: impl Into<KernelSpec>,
+        mut body: impl FnMut(&mut WorkerArray, ConfigId) -> XppResult<T>,
+    ) -> XppResult<T> {
+        let spec = spec.into();
+        let attempts = self.policy.max_kernel_attempts.max(1);
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            let cfg = self.activate(spec)?;
+            let fires_before = self.array.config_fire_count(cfg);
+            match body(self, cfg) {
+                Err(e @ XppError::Timeout { .. }) => {
+                    if !self.watchdog_wedged(cfg, fires_before) {
+                        return Err(e);
+                    }
+                    Metrics::incr(&self.metrics.watchdog_kicks);
+                    // Force the zombie off the array. Disposal surfaces
+                    // the injected stall record (detected + recovered);
+                    // the next attempt reloads from the store.
+                    self.cm.deactivate(&mut self.array, &spec.config_name())?;
+                    if attempt >= attempts {
+                        return Err(XppError::ConfigWedged {
+                            config: cfg.index(),
+                        });
+                    }
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// After a timeout: has the configuration fired anything, even when
+    /// granted `watchdog_budget` extra cycles? No fires at all means the
+    /// load completed but the objects never came alive.
+    fn watchdog_wedged(&mut self, cfg: ConfigId, fires_before: u64) -> bool {
+        if self.array.config_fire_count(cfg) != fires_before {
+            return false;
+        }
+        self.array.run(self.policy.watchdog_budget);
+        self.array.config_fire_count(cfg) == fires_before
     }
 
     /// Speculatively starts loading the kernel's configuration without
@@ -156,7 +284,7 @@ impl WorkerArray {
 }
 
 /// Pool sizing and behaviour.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PoolConfig {
     /// Number of worker threads (each owning one array).
     pub shards: usize,
@@ -168,6 +296,14 @@ pub struct PoolConfig {
     /// Start every worker paused (deterministic backpressure tests);
     /// resume with [`ShardPool::resume`].
     pub start_paused: bool,
+    /// Supervision tuning: kernel/session retry budgets, crash backoff,
+    /// watchdog cycle grant.
+    pub recovery: RecoveryPolicy,
+    /// Deterministic fault plan driven by one pool-wide injector shared
+    /// across all shards (its load ordinal spans worker restarts). `None`
+    /// injects nothing.
+    #[cfg(feature = "faults")]
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for PoolConfig {
@@ -177,6 +313,9 @@ impl Default for PoolConfig {
             queue_depth: 32,
             cache_capacity: 8,
             start_paused: false,
+            recovery: RecoveryPolicy::default(),
+            #[cfg(feature = "faults")]
+            fault_plan: None,
         }
     }
 }
@@ -247,15 +386,21 @@ struct PauseGate {
 }
 
 impl PauseGate {
+    // A poisoned gate only means some thread panicked while holding the
+    // lock; the bool inside is always valid, so recover it rather than
+    // cascading the panic into pause/resume callers.
     fn set(&self, paused: bool) {
-        *self.paused.lock().expect("pause gate poisoned") = paused;
+        *self.paused.lock().unwrap_or_else(PoisonError::into_inner) = paused;
         self.unpaused.notify_all();
     }
 
     fn wait_ready(&self) {
-        let mut guard = self.paused.lock().expect("pause gate poisoned");
+        let mut guard = self.paused.lock().unwrap_or_else(PoisonError::into_inner);
         while *guard {
-            guard = self.unpaused.wait(guard).expect("pause gate poisoned");
+            guard = self
+                .unpaused
+                .wait(guard)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 }
@@ -272,6 +417,8 @@ pub struct ShardPool {
     shards: Vec<ShardHandle>,
     results: Receiver<Session>,
     metrics: Arc<Metrics>,
+    #[cfg(feature = "faults")]
+    injector: Option<Arc<FaultInjector>>,
 }
 
 impl ShardPool {
@@ -287,22 +434,28 @@ impl ShardPool {
         // One compiled-config store for the whole pool: a kernel is built
         // and placed once per process, whichever shard first needs it.
         let store = Arc::new(ConfigStore::new(config.cache_capacity));
+        #[cfg(feature = "faults")]
+        let injector = config
+            .fault_plan
+            .clone()
+            .map(|plan| Arc::new(FaultInjector::new(plan)));
         let shards = (0..config.shards)
             .map(|_| {
                 let (tx, rx) = mpsc::sync_channel::<Session>(config.queue_depth);
                 let depth = Arc::new(AtomicU64::new(0));
                 let pause = Arc::new(PauseGate::default());
                 pause.set(config.start_paused);
-                let worker = {
-                    let results_tx = results_tx.clone();
-                    let depth = Arc::clone(&depth);
-                    let pause = Arc::clone(&pause);
-                    let metrics = Arc::clone(&metrics);
-                    let store = Arc::clone(&store);
-                    std::thread::spawn(move || {
-                        worker_loop(rx, results_tx, depth, pause, metrics, store)
-                    })
+                let seed = WorkerSeed {
+                    results: results_tx.clone(),
+                    depth: Arc::clone(&depth),
+                    pause: Arc::clone(&pause),
+                    metrics: Arc::clone(&metrics),
+                    store: Arc::clone(&store),
+                    policy: config.recovery,
+                    #[cfg(feature = "faults")]
+                    injector: injector.clone(),
                 };
+                let worker = std::thread::spawn(move || worker_loop(rx, seed));
                 ShardHandle {
                     queue: Some(tx),
                     depth,
@@ -315,6 +468,19 @@ impl ShardPool {
             shards,
             results,
             metrics,
+            #[cfg(feature = "faults")]
+            injector,
+        }
+    }
+
+    /// Folds the pool-wide injector's fire counters into the metrics
+    /// registry, so `faults_injected` in a snapshot reflects every fault
+    /// the plan has actually triggered so far. No-op without a plan (and
+    /// compiled out entirely without the `faults` feature).
+    pub fn sync_fault_metrics(&self) {
+        #[cfg(feature = "faults")]
+        if let Some(inj) = &self.injector {
+            Metrics::raise_to(&self.metrics.faults_injected, inj.injected_total());
         }
     }
 
@@ -403,7 +569,11 @@ impl ShardPool {
         }
         for shard in &mut self.shards {
             if let Some(worker) = shard.worker.take() {
-                worker.join().expect("worker thread panicked");
+                // Supervised join: session panics are caught inside the
+                // loop, so an Err here is a defect in the loop itself —
+                // shutdown must still proceed shard by shard rather than
+                // cascade the panic out of drop.
+                let _ = worker.join();
             }
         }
     }
@@ -415,24 +585,47 @@ impl Drop for ShardPool {
     }
 }
 
-fn worker_loop(
-    rx: Receiver<Session>,
+/// Everything needed to (re)build a shard's worker context — kept by the
+/// worker thread itself so it can replace a crashed [`WorkerArray`]
+/// without round-tripping through the pool.
+struct WorkerSeed {
     results: mpsc::Sender<Session>,
     depth: Arc<AtomicU64>,
     pause: Arc<PauseGate>,
     metrics: Arc<Metrics>,
     store: Arc<ConfigStore>,
-) {
-    let mut worker = WorkerArray::with_store(store, Arc::clone(&metrics));
+    policy: RecoveryPolicy,
+    #[cfg(feature = "faults")]
+    injector: Option<Arc<FaultInjector>>,
+}
+
+impl WorkerSeed {
+    fn fresh_worker(&self) -> WorkerArray {
+        #[allow(unused_mut)]
+        let mut worker = WorkerArray::with_policy(
+            Arc::clone(&self.store),
+            Arc::clone(&self.metrics),
+            self.policy,
+        );
+        #[cfg(feature = "faults")]
+        if let Some(inj) = &self.injector {
+            worker.attach_fault_injector(Arc::clone(inj));
+        }
+        worker
+    }
+}
+
+fn worker_loop(rx: Receiver<Session>, seed: WorkerSeed) {
+    let mut worker = seed.fresh_worker();
     let mut heap: BinaryHeap<QueuedSession> = BinaryHeap::new();
     let mut seq = 0u64;
     let mut open = true;
     loop {
-        pause.wait_ready();
+        seed.pause.wait_ready();
         loop {
             match rx.try_recv() {
                 Ok(session) => {
-                    depth.fetch_sub(1, Ordering::Relaxed);
+                    seed.depth.fetch_sub(1, Ordering::Relaxed);
                     seq += 1;
                     heap.push(QueuedSession {
                         deadline: session.deadline(),
@@ -453,7 +646,7 @@ fn worker_loop(
             }
             match rx.recv() {
                 Ok(session) => {
-                    depth.fetch_sub(1, Ordering::Relaxed);
+                    seed.depth.fetch_sub(1, Ordering::Relaxed);
                     seq += 1;
                     heap.push(QueuedSession {
                         deadline: session.deadline(),
@@ -466,11 +659,32 @@ fn worker_loop(
             continue;
         };
         let mut session = queued.session;
-        session.step(&mut worker);
-        Metrics::incr(&metrics.jobs_run);
+        // Supervised step: a panic (injected or genuine) is contained to
+        // this one dispatch. AssertUnwindSafe is sound because both the
+        // session and the worker are discarded-or-replaced on the panic
+        // path rather than reused in their torn state: the session is
+        // handed back marked crashed (the engine re-dispatches or
+        // dead-letters it, it never resumes mid-kernel state), and the
+        // worker — whose array may be mid-mutation — is dropped wholesale
+        // and rebuilt from the seed.
+        let stepped = catch_unwind(AssertUnwindSafe(|| session.step(&mut worker)));
+        match stepped {
+            Ok(()) => Metrics::incr(&seed.metrics.jobs_run),
+            Err(_) => {
+                // Pending fault records on the discarded array (e.g. a
+                // stall nobody exercised yet) would vanish with it; count
+                // their disposal so injected == detected still reconciles.
+                let lost = worker.array_mut().take_injected_faults();
+                Metrics::add(&seed.metrics.faults_detected, 1 + lost);
+                Metrics::add(&seed.metrics.recoveries, lost);
+                Metrics::incr(&seed.metrics.worker_restarts);
+                worker = seed.fresh_worker();
+                session.record_crash();
+            }
+        }
         // The engine side may already be gone (pool dropped mid-run);
         // the session's work is still done, only the hand-back is lost.
-        let _ = results.send(session);
+        let _ = seed.results.send(session);
     }
 }
 

@@ -72,12 +72,23 @@ pub enum SessionState {
     Done,
     /// The pipeline failed; the reason is attached.
     Failed(String),
+    /// Dropped by admission control under overload before completing.
+    Shed,
+    /// Gave up after repeated faults or crashes; the last reason is
+    /// attached.
+    DeadLettered(String),
 }
 
 impl SessionState {
     /// True once the session needs no further steps.
     pub fn is_terminal(&self) -> bool {
-        matches!(self, SessionState::Done | SessionState::Failed(_))
+        matches!(
+            self,
+            SessionState::Done
+                | SessionState::Failed(_)
+                | SessionState::Shed
+                | SessionState::DeadLettered(_)
+        )
     }
 }
 
@@ -95,6 +106,11 @@ pub struct Session {
     period: u64,
     state: SessionState,
     kind: Kind,
+    /// Set by the shard supervisor when a step panicked; consumed by the
+    /// engine to decide retry vs dead-letter.
+    crashed: bool,
+    /// Dispatch attempts that ended in a crash so far.
+    attempts: u32,
 }
 
 impl Session {
@@ -106,6 +122,8 @@ impl Session {
             period: WCDMA_PERIOD_CYCLES,
             state: SessionState::Idle,
             kind: Kind::Wcdma(WcdmaTerminal::new(seed)),
+            crashed: false,
+            attempts: 0,
         }
     }
 
@@ -117,6 +135,8 @@ impl Session {
             period: OFDM_PERIOD_CYCLES,
             state: SessionState::Idle,
             kind: Kind::Ofdm(OfdmTerminal::new(seed)),
+            crashed: false,
+            attempts: 0,
         }
     }
 
@@ -162,6 +182,11 @@ impl Session {
     /// Runs one step of the state machine on a worker's array. Terminal
     /// states are recorded in the worker's metrics; stepping a terminal
     /// session is a no-op.
+    ///
+    /// Fault-class array errors ([`xpp_array::Error::is_fault`]) reaching
+    /// this level mean the worker's retry budget is already spent, so the
+    /// session is dead-lettered rather than failed: the payload was never
+    /// wrong, the platform just could not keep a configuration alive.
     pub fn step(&mut self, worker: &mut WorkerArray) {
         if self.state.is_terminal() {
             return;
@@ -173,13 +198,42 @@ impl Session {
         self.deadline += self.period;
         self.state = match outcome {
             Ok(next) => next,
+            Err(e) if e.is_fault() => SessionState::DeadLettered(format!("array fault: {e}")),
             Err(e) => SessionState::Failed(format!("array error: {e}")),
         };
         match &self.state {
             SessionState::Done => Metrics::incr(&worker.metrics().sessions_completed),
             SessionState::Failed(_) => Metrics::incr(&worker.metrics().sessions_failed),
+            SessionState::DeadLettered(_) => Metrics::incr(&worker.metrics().dead_letters),
             _ => {}
         }
+    }
+
+    /// Marks the session as having crashed its worker (set by the shard
+    /// supervisor after catching a panic mid-step).
+    pub(crate) fn record_crash(&mut self) {
+        self.crashed = true;
+        self.attempts += 1;
+    }
+
+    /// Consumes the crash flag set by the supervisor.
+    pub(crate) fn take_crashed(&mut self) -> bool {
+        std::mem::take(&mut self.crashed)
+    }
+
+    /// Dispatch attempts that ended in a worker crash.
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+
+    /// Terminates the session as shed by admission control.
+    pub(crate) fn mark_shed(&mut self) {
+        self.state = SessionState::Shed;
+    }
+
+    /// Terminates the session as dead-lettered with a reason.
+    pub(crate) fn mark_dead_lettered(&mut self, reason: impl Into<String>) {
+        self.state = SessionState::DeadLettered(reason.into());
     }
 }
 
@@ -309,9 +363,12 @@ impl OfdmTerminal {
     fn new(seed: u64) -> Self {
         let mut rng = Rng64::seed_from_u64(seed ^ 0x0FD3);
         let bits: Vec<u8> = (0..96).map(|_| (rng.next_u32() & 1) as u8).collect();
+        let Some(rate_12) = rate(12) else {
+            unreachable!("12 Mb/s is a standard 802.11a rate")
+        };
         OfdmTerminal {
             bits,
-            rate: rate(12).expect("12 Mb/s is a standard rate"),
+            rate: rate_12,
             leading_gap: 64 + (seed % 48) as usize,
             seed,
             rx: Vec::new(),
@@ -363,7 +420,10 @@ impl OfdmTerminal {
     /// The Fig. 10 swap (2a out, 2b in), slicing of the first data symbol
     /// through 2b, and full golden decode of the payload.
     fn demodulate(&mut self, worker: &mut WorkerArray) -> XppResult<SessionState> {
-        let cfg2b = worker.swap(OfdmKernel::PreambleDetector, OfdmKernel::Demodulator)?;
+        // The Fig. 10 swap counts the reconfiguration; the slicing below
+        // re-activates 2b through the watchdog wrapper (tier-1 free when
+        // the swap just loaded it).
+        worker.swap(OfdmKernel::PreambleDetector, OfdmKernel::Demodulator)?;
 
         let sync = OfdmReceiver::new(self.rate);
         let Some(long_start) = sync.fine_timing(&self.rx, self.coarse) else {
@@ -383,7 +443,7 @@ impl OfdmTerminal {
             .map(|&k| spectrum[subcarrier_to_bin(k)])
             .collect();
         let weights = vec![Cplx::new(512, 0); carriers.len()];
-        let slices = run_demodulator(worker, cfg2b, &carriers, &weights)?;
+        let slices = run_demodulator(worker, &carriers, &weights)?;
         for (k, (b0, b1)) in slices.iter().enumerate() {
             if *b0 != (carriers[k].re < 0) as u8 || *b1 != (carriers[k].im < 0) as u8 {
                 return Ok(SessionState::Failed(format!(
@@ -427,26 +487,30 @@ fn run_descrambler(
     delay: usize,
     n: usize,
 ) -> XppResult<Vec<Cplx<i32>>> {
-    let cfg = worker.activate(WcdmaKernel::Descrambler)?;
-    let before = worker.array().stats().cycles;
-    let fires_before = worker.array().config_fire_count(cfg);
-    let (i, q) = split_iq(&rx[delay..delay + n]);
-    let bits: Vec<(u8, u8)> = (0..n).map(|k| code.chip_bits(k)).collect();
-    let array = worker.array_mut();
-    array.push_input(cfg, "i_in", i)?;
-    array.push_input(cfg, "q_in", q)?;
-    array.push_input(cfg, "ci", bits.iter().map(|b| Word::new(b.0 as i32)))?;
-    array.push_input(cfg, "cq", bits.iter().map(|b| Word::new(b.1 as i32)))?;
-    array.run_until_output(cfg, "i_out", n, 16 * n as u64 + 1_000)?;
-    array.run_until_idle(1_000)?;
-    let i_out = array.drain_output(cfg, "i_out")?;
-    let q_out = array.drain_output(cfg, "q_out")?;
-    let cycles = worker.array().stats().cycles - before;
-    let fires = worker.array().config_fire_count(cfg) - fires_before;
-    worker
-        .metrics()
-        .record_kernel(KernelKind::Descrambler, cycles, fires);
-    Ok(zip_iq(&i_out, &q_out))
+    // run_kernel replays the whole body on a watchdog retry, which is safe
+    // here: inputs are re-pushed from the captured slices and the reloaded
+    // configuration starts from clean token state.
+    worker.run_kernel(WcdmaKernel::Descrambler, |worker, cfg| {
+        let before = worker.array().stats().cycles;
+        let fires_before = worker.array().config_fire_count(cfg);
+        let (i, q) = split_iq(&rx[delay..delay + n]);
+        let bits: Vec<(u8, u8)> = (0..n).map(|k| code.chip_bits(k)).collect();
+        let array = worker.array_mut();
+        array.push_input(cfg, "i_in", i)?;
+        array.push_input(cfg, "q_in", q)?;
+        array.push_input(cfg, "ci", bits.iter().map(|b| Word::new(b.0 as i32)))?;
+        array.push_input(cfg, "cq", bits.iter().map(|b| Word::new(b.1 as i32)))?;
+        array.run_until_output(cfg, "i_out", n, 16 * n as u64 + 1_000)?;
+        array.run_until_idle(1_000)?;
+        let i_out = array.drain_output(cfg, "i_out")?;
+        let q_out = array.drain_output(cfg, "q_out")?;
+        let cycles = worker.array().stats().cycles - before;
+        let fires = worker.array().config_fire_count(cfg) - fires_before;
+        worker
+            .metrics()
+            .record_kernel(KernelKind::Descrambler, cycles, fires);
+        Ok(zip_iq(&i_out, &q_out))
+    })
 }
 
 fn run_despreader(
@@ -458,89 +522,93 @@ fn run_despreader(
     // The kernel spec carries the spreading factor and OVSF code index —
     // every parameter that shapes the netlist — so sessions with the same
     // cell parameters share one stored compile.
-    let cfg = worker.activate(WcdmaKernel::Despreader { sf, code_index })?;
-    let before = worker.array().stats().cycles;
-    let fires_before = worker.array().config_fire_count(cfg);
-    let n_sym = chips.len() / sf;
-    let (i, q) = split_iq(&chips[..n_sym * sf]);
-    let array = worker.array_mut();
-    array.push_input(cfg, "i_in", i)?;
-    array.push_input(cfg, "q_in", q)?;
-    array.run_until_output(cfg, "i_out", n_sym, 16 * chips.len() as u64 + 2_000)?;
-    array.run_until_idle(2_000)?;
-    let i_out = array.drain_output(cfg, "i_out")?;
-    let q_out = array.drain_output(cfg, "q_out")?;
-    let cycles = worker.array().stats().cycles - before;
-    let fires = worker.array().config_fire_count(cfg) - fires_before;
-    worker
-        .metrics()
-        .record_kernel(KernelKind::Despreader, cycles, fires);
-    Ok(zip_iq(&i_out, &q_out))
+    worker.run_kernel(WcdmaKernel::Despreader { sf, code_index }, |worker, cfg| {
+        let before = worker.array().stats().cycles;
+        let fires_before = worker.array().config_fire_count(cfg);
+        let n_sym = chips.len() / sf;
+        let (i, q) = split_iq(&chips[..n_sym * sf]);
+        let array = worker.array_mut();
+        array.push_input(cfg, "i_in", i)?;
+        array.push_input(cfg, "q_in", q)?;
+        array.run_until_output(cfg, "i_out", n_sym, 16 * chips.len() as u64 + 2_000)?;
+        array.run_until_idle(2_000)?;
+        let i_out = array.drain_output(cfg, "i_out")?;
+        let q_out = array.drain_output(cfg, "q_out")?;
+        let cycles = worker.array().stats().cycles - before;
+        let fires = worker.array().config_fire_count(cfg) - fires_before;
+        worker
+            .metrics()
+            .record_kernel(KernelKind::Despreader, cycles, fires);
+        Ok(zip_iq(&i_out, &q_out))
+    })
 }
 
 fn run_preamble_detector(worker: &mut WorkerArray, rx: &[Cplx<i32>]) -> XppResult<Vec<i32>> {
     use ofdm::rx::{AUTOCORR_LAG, AUTOCORR_WINDOW};
-    let cfg = worker.activate(OfdmKernel::PreambleDetector)?;
-    // Fig. 10: a successful search is followed by the 2a→2b swap, so start
-    // streaming the demodulator over the configuration bus *now* — the
-    // load overlaps the preamble search below, and the swap pays only
-    // activation.
-    worker.prefetch(OfdmKernel::Demodulator)?;
-    let before = worker.array().stats().cycles;
-    let fires_before = worker.array().config_fire_count(cfg);
-    // A resident detector keeps the previous terminal's tail in its delay
-    // lines and running sum. Streaming lag+window zero samples (idle air)
-    // drains that history exactly — the window sum of 32 zero products is
-    // zero — so every session sees the golden zero-history metric.
-    let flush = AUTOCORR_LAG + AUTOCORR_WINDOW;
-    let n = rx.len();
-    let (i, q) = split_iq(rx);
-    let array = worker.array_mut();
-    array.push_input(cfg, "i_in", std::iter::repeat_n(Word::ZERO, flush).chain(i))?;
-    array.push_input(cfg, "q_in", std::iter::repeat_n(Word::ZERO, flush).chain(q))?;
-    let expect = flush + n;
-    array.run_until_output(cfg, "metric", expect, 20 * expect as u64 + 5_000)?;
-    array.run_until_idle(5_000)?;
-    let metric = array.drain_output(cfg, "metric")?;
-    let cycles = worker.array().stats().cycles - before;
-    let fires = worker.array().config_fire_count(cfg) - fires_before;
-    worker
-        .metrics()
-        .record_kernel(KernelKind::PreambleDetector, cycles, fires);
-    Ok(metric.iter().skip(flush).map(|w| w.value()).collect())
+    worker.run_kernel(OfdmKernel::PreambleDetector, |worker, cfg| {
+        // Fig. 10: a successful search is followed by the 2a→2b swap, so
+        // start streaming the demodulator over the configuration bus *now*
+        // — the load overlaps the preamble search below, and the swap pays
+        // only activation. A watchdog retry re-issues this as a no-op.
+        worker.prefetch(OfdmKernel::Demodulator)?;
+        let before = worker.array().stats().cycles;
+        let fires_before = worker.array().config_fire_count(cfg);
+        // A resident detector keeps the previous terminal's tail in its
+        // delay lines and running sum. Streaming lag+window zero samples
+        // (idle air) drains that history exactly — the window sum of 32
+        // zero products is zero — so every session sees the golden
+        // zero-history metric.
+        let flush = AUTOCORR_LAG + AUTOCORR_WINDOW;
+        let n = rx.len();
+        let (i, q) = split_iq(rx);
+        let array = worker.array_mut();
+        array.push_input(cfg, "i_in", std::iter::repeat_n(Word::ZERO, flush).chain(i))?;
+        array.push_input(cfg, "q_in", std::iter::repeat_n(Word::ZERO, flush).chain(q))?;
+        let expect = flush + n;
+        array.run_until_output(cfg, "metric", expect, 20 * expect as u64 + 5_000)?;
+        array.run_until_idle(5_000)?;
+        let metric = array.drain_output(cfg, "metric")?;
+        let cycles = worker.array().stats().cycles - before;
+        let fires = worker.array().config_fire_count(cfg) - fires_before;
+        worker
+            .metrics()
+            .record_kernel(KernelKind::PreambleDetector, cycles, fires);
+        Ok(metric.iter().skip(flush).map(|w| w.value()).collect())
+    })
 }
 
 fn run_demodulator(
     worker: &mut WorkerArray,
-    cfg: xpp_array::ConfigId,
     carriers: &[Cplx<i32>],
     weights: &[Cplx<i32>],
 ) -> XppResult<Vec<(u8, u8)>> {
     assert_eq!(carriers.len(), weights.len(), "one weight per carrier");
-    let before = worker.array().stats().cycles;
-    let fires_before = worker.array().config_fire_count(cfg);
-    let n = carriers.len();
-    let (i, q) = split_iq(carriers);
-    let (wi, wq) = split_iq(weights);
-    let array = worker.array_mut();
-    array.push_input(cfg, "i_in", i)?;
-    array.push_input(cfg, "q_in", q)?;
-    array.push_input(cfg, "wi", wi)?;
-    array.push_input(cfg, "wq", wq)?;
-    array.run_until_output(cfg, "b0", n, 20 * n as u64 + 5_000)?;
-    array.run_until_idle(5_000)?;
-    let b0 = array.drain_output(cfg, "b0")?;
-    let b1 = array.drain_output(cfg, "b1")?;
-    let cycles = worker.array().stats().cycles - before;
-    let fires = worker.array().config_fire_count(cfg) - fires_before;
-    worker
-        .metrics()
-        .record_kernel(KernelKind::Demodulator, cycles, fires);
-    Ok(b0
-        .iter()
-        .zip(&b1)
-        .map(|(a, b)| (a.value() as u8, b.value() as u8))
-        .collect())
+    worker.run_kernel(OfdmKernel::Demodulator, |worker, cfg| {
+        let before = worker.array().stats().cycles;
+        let fires_before = worker.array().config_fire_count(cfg);
+        let n = carriers.len();
+        let (i, q) = split_iq(carriers);
+        let (wi, wq) = split_iq(weights);
+        let array = worker.array_mut();
+        array.push_input(cfg, "i_in", i)?;
+        array.push_input(cfg, "q_in", q)?;
+        array.push_input(cfg, "wi", wi)?;
+        array.push_input(cfg, "wq", wq)?;
+        array.run_until_output(cfg, "b0", n, 20 * n as u64 + 5_000)?;
+        array.run_until_idle(5_000)?;
+        let b0 = array.drain_output(cfg, "b0")?;
+        let b1 = array.drain_output(cfg, "b1")?;
+        let cycles = worker.array().stats().cycles - before;
+        let fires = worker.array().config_fire_count(cfg) - fires_before;
+        worker
+            .metrics()
+            .record_kernel(KernelKind::Demodulator, cycles, fires);
+        Ok(b0
+            .iter()
+            .zip(&b1)
+            .map(|(a, b)| (a.value() as u8, b.value() as u8))
+            .collect())
+    })
 }
 
 #[cfg(test)]

@@ -20,6 +20,7 @@ fn ofdm_reconfiguration_is_served_from_the_cache() {
         shards: 1,
         queue_depth: 8,
         cache_capacity: 8,
+        ..EngineConfig::default()
     });
     let summary = engine.run(vec![Session::ofdm(0, 11), Session::ofdm(1, 12)]);
 
@@ -60,6 +61,7 @@ fn full_shard_returns_would_block() {
             queue_depth: 2,
             cache_capacity: 4,
             start_paused: true,
+            ..PoolConfig::default()
         },
         Arc::clone(&metrics),
     );
@@ -95,6 +97,7 @@ fn shutdown_drains_in_flight_jobs() {
             queue_depth: 8,
             cache_capacity: 4,
             start_paused: true,
+            ..PoolConfig::default()
         },
         Arc::clone(&metrics),
     );
@@ -120,6 +123,7 @@ fn stress_64_mixed_sessions_over_4_shards() {
         shards: 4,
         queue_depth: 8, // small queues force re-queue traffic
         cache_capacity: 8,
+        ..EngineConfig::default()
     });
     let sessions: Vec<Session> = (0..64)
         .map(|id| {

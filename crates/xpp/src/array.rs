@@ -30,6 +30,8 @@ use std::fmt;
 use crate::channel::Channel;
 use crate::compiled::{CompiledConfig, PortDir};
 use crate::error::{Error, Result};
+#[cfg(feature = "faults")]
+use crate::fault::{FaultInjector, FaultKind};
 use crate::netlist::Netlist;
 use crate::object::{CounterCfg, ObjectKind, RAM_WORDS};
 use crate::place::{Geometry, Placement, ResourceCounts, ResourcePool};
@@ -82,8 +84,14 @@ impl fmt::Display for ConfigId {
 
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum ConfigState {
-    Loading { remaining: u64 },
+    Loading {
+        remaining: u64,
+    },
     Running,
+    /// The load went wrong (injected fault); the configuration holds its
+    /// resources but will never run and must be unloaded.
+    #[cfg(feature = "faults")]
+    Faulted(FaultKind),
 }
 
 #[derive(Debug)]
@@ -95,6 +103,14 @@ struct LoadedConfig {
     echans: Vec<usize>,
     placement: Placement,
     ports: HashMap<String, (usize, PortDir)>,
+    /// Fault assigned to this load by the injector, cleared when a recovery
+    /// layer surfaces it (see [`Array::clear_injected_fault`]).
+    #[cfg(feature = "faults")]
+    fault: Option<FaultKind>,
+    /// Bus words remaining at which an [`FaultKind::AbortLoad`] strikes
+    /// (half the load window).
+    #[cfg(feature = "faults")]
+    fault_at: u64,
 }
 
 #[derive(Debug)]
@@ -256,6 +272,10 @@ pub struct Array {
     board_e: Vec<bool>,
     #[cfg(any(test, feature = "reference"))]
     use_reference: bool,
+    /// Shared fault scheduler consulted at every configuration load; `None`
+    /// (the default) takes no fault path at all.
+    #[cfg(feature = "faults")]
+    injector: Option<std::sync::Arc<FaultInjector>>,
 }
 
 impl Array {
@@ -287,7 +307,17 @@ impl Array {
             board_e: Vec::new(),
             #[cfg(any(test, feature = "reference"))]
             use_reference: FORCE_REFERENCE.with(|c| c.get()),
+            #[cfg(feature = "faults")]
+            injector: None,
         }
+    }
+
+    /// Attaches a shared fault injector; every subsequent configuration
+    /// load consults its plan. A supervisor re-attaches the same injector
+    /// to a replacement array after a crash so the schedule continues.
+    #[cfg(feature = "faults")]
+    pub fn attach_fault_injector(&mut self, injector: std::sync::Arc<FaultInjector>) {
+        self.injector = Some(injector);
     }
 
     /// The array geometry.
@@ -393,6 +423,53 @@ impl Array {
         )
     }
 
+    /// The typed error a faulted load left behind, if any.
+    ///
+    /// Always available; without the `faults` feature (or with no injector
+    /// attached) this is always `None`. A faulted configuration keeps its
+    /// resources until [`unload`](Array::unload), so anyone waiting for
+    /// [`is_running`](Array::is_running) must poll this too or spin forever.
+    pub fn load_error(&self, cfg: ConfigId) -> Option<Error> {
+        #[cfg(feature = "faults")]
+        if let Some(ConfigState::Faulted(kind)) = self.configs.get(&cfg.0).map(|c| &c.state) {
+            return Some(match kind {
+                FaultKind::AbortLoad => Error::LoadAborted { config: cfg.0 },
+                _ => Error::ConfigCorrupted { config: cfg.0 },
+            });
+        }
+        let _ = cfg;
+        None
+    }
+
+    /// Clears the injected-fault record of a resident configuration,
+    /// returning `true` if one was present. Recovery layers call this when
+    /// disposing of a configuration so each injected fault is counted as
+    /// detected exactly once, even for stalls that never raise an error.
+    pub fn clear_injected_fault(&mut self, cfg: ConfigId) -> bool {
+        #[cfg(feature = "faults")]
+        if let Some(c) = self.configs.get_mut(&cfg.0) {
+            return c.fault.take().is_some();
+        }
+        let _ = cfg;
+        false
+    }
+
+    /// Clears the injected-fault records of *every* resident
+    /// configuration, returning how many there were. Supervisors call this
+    /// on an array they are about to discard wholesale (e.g. after a
+    /// worker crash) so pending faults still count as detected.
+    pub fn take_injected_faults(&mut self) -> u64 {
+        #[cfg(feature = "faults")]
+        let swept = self
+            .configs
+            .values_mut()
+            .filter_map(|c| c.fault.take())
+            .count() as u64;
+        #[cfg(not(feature = "faults"))]
+        let swept = 0;
+        swept
+    }
+
     // ---- configuration management ------------------------------------
 
     /// Places a netlist onto the array and queues it for loading over the
@@ -424,6 +501,20 @@ impl Array {
     /// Returns [`Error::PlacementFailed`] if any resource class is exhausted.
     pub fn configure_compiled(&mut self, compiled: &CompiledConfig) -> Result<ConfigId> {
         self.pool.allocate(compiled.placement.counts)?;
+        // Ordinals count only loads that got past placement; a WorkerPanic
+        // strikes here, before any array state mutates — the supervisor
+        // discards the whole array, so the allocation above is moot.
+        #[cfg(feature = "faults")]
+        let injected = {
+            let injected = self.injector.as_ref().and_then(|inj| inj.on_load());
+            if injected == Some(FaultKind::WorkerPanic) {
+                panic!(
+                    "injected fault: loader crashed while configuring {:?}",
+                    compiled.name
+                );
+            }
+            injected
+        };
         let id = self.next_id;
         self.next_id += 1;
 
@@ -527,6 +618,10 @@ impl Array {
                 echans: echan_ids,
                 placement: compiled.placement.clone(),
                 ports,
+                #[cfg(feature = "faults")]
+                fault: injected,
+                #[cfg(feature = "faults")]
+                fault_at: compiled.load_cycles / 2,
             },
         );
         self.load_queue.push_back(id);
@@ -937,7 +1032,25 @@ impl Array {
         let cfg = self.configs.get_mut(&front).expect("queued config exists");
         if let ConfigState::Loading { remaining } = &mut cfg.state {
             *remaining = remaining.saturating_sub(1);
-            if *remaining == 0 {
+            let left = *remaining;
+            // An aborted load drops off the bus halfway through its window;
+            // a corrupted one consumes the full window but ends Faulted
+            // instead of Running. Either way the bus moves on to the next
+            // queued load and the residue waits for an unload.
+            #[cfg(feature = "faults")]
+            {
+                if cfg.fault == Some(FaultKind::AbortLoad) && left <= cfg.fault_at {
+                    cfg.state = ConfigState::Faulted(FaultKind::AbortLoad);
+                    self.load_queue.pop_front();
+                    return true;
+                }
+                if cfg.fault == Some(FaultKind::CorruptConfig) && left == 0 {
+                    cfg.state = ConfigState::Faulted(FaultKind::CorruptConfig);
+                    self.load_queue.pop_front();
+                    return true;
+                }
+            }
+            if left == 0 {
                 cfg.state = ConfigState::Running;
                 finished = true;
             }
@@ -945,6 +1058,15 @@ impl Array {
         if finished {
             self.stats.configs_loaded += 1;
             self.load_queue.pop_front();
+            // A stalled configuration reports Running but its objects are
+            // never enabled: zero fires and no error — detectable only by
+            // the zero-fire watchdog above the array.
+            #[cfg(feature = "faults")]
+            if self.configs.get(&front).expect("config exists").fault
+                == Some(FaultKind::StallConfig)
+            {
+                return true;
+            }
             let Array {
                 configs,
                 objects,

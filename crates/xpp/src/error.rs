@@ -61,6 +61,37 @@ pub enum Error {
     },
     /// The netlist contains no objects.
     EmptyNetlist,
+    /// A load's configuration words arrived corrupted over the bus; the
+    /// configuration never passes its wake-up check and must be reloaded.
+    ConfigCorrupted {
+        /// Configuration id of the poisoned load.
+        config: u32,
+    },
+    /// A configuration load was aborted mid-stream, leaving an unusable
+    /// half-configured shape that must be unloaded.
+    LoadAborted {
+        /// Configuration id of the abandoned load.
+        config: u32,
+    },
+    /// A configuration reports running but fired zero objects within the
+    /// watchdog's cycle budget — wedged, and must be reloaded.
+    ConfigWedged {
+        /// Configuration id of the wedged kernel.
+        config: u32,
+    },
+}
+
+impl Error {
+    /// True for errors that represent detected runtime faults the
+    /// supervision layer should recover from (reload / retry / dead-letter),
+    /// as opposed to programming errors in netlist construction, placement
+    /// or port wiring.
+    pub fn is_fault(&self) -> bool {
+        matches!(
+            self,
+            Error::ConfigCorrupted { .. } | Error::LoadAborted { .. } | Error::ConfigWedged { .. }
+        )
+    }
 }
 
 impl fmt::Display for Error {
@@ -107,6 +138,18 @@ impl fmt::Display for Error {
                 "{requested} initial tokens exceed the channel capacity of {capacity}"
             ),
             Error::EmptyNetlist => write!(f, "netlist contains no objects"),
+            Error::ConfigCorrupted { config } => {
+                write!(f, "configuration {config} arrived corrupted over the bus")
+            }
+            Error::LoadAborted { config } => {
+                write!(f, "load of configuration {config} was aborted mid-stream")
+            }
+            Error::ConfigWedged { config } => {
+                write!(
+                    f,
+                    "configuration {config} is wedged (running but firing nothing)"
+                )
+            }
         }
     }
 }
@@ -151,10 +194,22 @@ mod tests {
                 capacity: 2,
             },
             Error::EmptyNetlist,
+            Error::ConfigCorrupted { config: 7 },
+            Error::LoadAborted { config: 7 },
+            Error::ConfigWedged { config: 7 },
         ];
         for v in variants {
             assert!(!v.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn fault_classification() {
+        assert!(Error::ConfigCorrupted { config: 0 }.is_fault());
+        assert!(Error::LoadAborted { config: 0 }.is_fault());
+        assert!(Error::ConfigWedged { config: 0 }.is_fault());
+        assert!(!Error::Timeout { budget: 10 }.is_fault());
+        assert!(!Error::NoSuchConfig(0).is_fault());
     }
 
     #[test]

@@ -49,6 +49,8 @@ pub mod array;
 pub mod channel;
 pub mod compiled;
 pub mod error;
+#[cfg(feature = "faults")]
+pub mod fault;
 pub mod netlist;
 pub mod object;
 pub mod place;

@@ -66,8 +66,7 @@ impl EnergyModel {
             + stats.ram_writes as f64 * self.pj_ram_write
             + stats.fifo_fires as f64 * self.pj_fifo
             + stats.io_words as f64 * self.pj_io
-            + stats.event_fires as f64 * self.pj_event
-            + stats.config_cycles as f64 * self.pj_config;
+            + stats.event_fires as f64 * self.pj_event;
         let leakage_pj =
             stats.cycles as f64 * geometry.total_paes() as f64 * self.pj_leak_per_pae_cycle;
         let seconds = if clock_hz > 0.0 {
@@ -77,9 +76,22 @@ impl EnergyModel {
         };
         PowerReport {
             dynamic_nj: dynamic_pj / 1e3,
+            config_nj: self.config_load_nj(stats.config_cycles),
             leakage_nj: leakage_pj / 1e3,
             sim_seconds: seconds,
         }
+    }
+
+    /// Energy of streaming `words` configuration words over the serial bus
+    /// (one word per bus cycle), in nanojoules.
+    ///
+    /// This is the per-load cost a [`CompiledConfig`](crate::CompiledConfig)
+    /// charges: `load_cycles` words for a cold or demand load, overlappable
+    /// but not avoidable for a prefetched one — which is how cold-vs-
+    /// prefetched reconfiguration shows up in the power report as well as
+    /// in latency.
+    pub fn config_load_nj(&self, words: u64) -> f64 {
+        words as f64 * self.pj_config / 1e3
     }
 }
 
@@ -92,8 +104,11 @@ impl Default for EnergyModel {
 /// The result of an energy evaluation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerReport {
-    /// Switching energy in nanojoules.
+    /// Compute switching energy in nanojoules (excludes the bus).
     pub dynamic_nj: f64,
+    /// Configuration-bus energy in nanojoules: reconfiguration traffic,
+    /// broken out so load-policy trade-offs are visible next to compute.
+    pub config_nj: f64,
     /// Leakage energy in nanojoules.
     pub leakage_nj: f64,
     /// Simulated wall time in seconds (0 when no clock was supplied).
@@ -103,7 +118,7 @@ pub struct PowerReport {
 impl PowerReport {
     /// Total energy in nanojoules.
     pub fn total_nj(&self) -> f64 {
-        self.dynamic_nj + self.leakage_nj
+        self.dynamic_nj + self.config_nj + self.leakage_nj
     }
 
     /// Average power in milliwatts over the simulated interval.
@@ -209,6 +224,23 @@ mod tests {
         };
         let r = EnergyModel::default().report(&stats, Geometry::xpp64a(), 0.0);
         assert_eq!(r.avg_power_mw(), 0.0);
+    }
+
+    #[test]
+    fn config_bus_energy_is_broken_out() {
+        let m = EnergyModel::hcmos9_130nm();
+        let stats = ArrayStats {
+            cycles: 100,
+            config_cycles: 60,
+            ..Default::default()
+        };
+        let r = m.report(&stats, Geometry::xpp64a(), 64e6);
+        assert_eq!(r.dynamic_nj, 0.0, "bus traffic is not compute");
+        assert!((r.config_nj - m.config_load_nj(60)).abs() < 1e-12);
+        assert!(r.total_nj() > r.leakage_nj, "config energy must count");
+        // A prefetched load streams the same words as a cold one — the
+        // energy cost is identical, only the latency is hidden.
+        assert_eq!(m.config_load_nj(60), 60.0 * m.pj_config / 1e3);
     }
 
     #[test]

@@ -1,0 +1,150 @@
+//! Array-level behaviour of the seeded fault-injection layer: each
+//! [`FaultKind`] leaves exactly the observable state the recovery layer
+//! upstream is built to detect, and an attached-but-empty plan changes
+//! nothing at all.
+
+use std::sync::Arc;
+
+use xpp_array::fault::{FaultInjector, FaultKind, FaultPlan, FaultSpec};
+use xpp_array::{AluOp, Array, Error, Netlist, NetlistBuilder, Word};
+
+fn pipeline(name: &str, stages: usize) -> Netlist {
+    let mut nl = NetlistBuilder::new(name);
+    let mut x = nl.input("in");
+    for _ in 0..stages {
+        let one = nl.constant(Word::new(1));
+        x = nl.alu(AluOp::Add, x, one);
+    }
+    nl.output("out", x);
+    nl.build().unwrap()
+}
+
+fn injector_for(kind: FaultKind, at_load: u64) -> Arc<FaultInjector> {
+    Arc::new(FaultInjector::new(FaultPlan {
+        faults: vec![FaultSpec { kind, at_load }],
+    }))
+}
+
+#[test]
+fn corrupt_config_surfaces_typed_error_after_full_load_window() {
+    let mut array = Array::xpp64a();
+    let inj = injector_for(FaultKind::CorruptConfig, 0);
+    array.attach_fault_injector(Arc::clone(&inj));
+
+    let cfg = array.configure(&pipeline("victim", 4)).unwrap();
+    // The corrupted load consumes its whole bus window and then fails.
+    for _ in 0..10_000 {
+        if array.load_error(cfg).is_some() {
+            break;
+        }
+        array.step();
+    }
+    assert!(!array.is_running(cfg));
+    assert_eq!(
+        array.load_error(cfg),
+        Some(Error::ConfigCorrupted {
+            config: cfg.index()
+        })
+    );
+    assert!(array.load_error(cfg).unwrap().is_fault());
+    assert_eq!(inj.injected_total(), 1);
+
+    // The residue holds resources until unloaded; afterwards a clean
+    // reload (next ordinal, no fault scheduled) works normally.
+    array.unload(cfg).unwrap();
+    let cfg2 = array.configure(&pipeline("retry", 4)).unwrap();
+    array.push_input(cfg2, "in", [Word::new(1)]).unwrap();
+    array.run_until_idle(10_000).unwrap();
+    assert_eq!(array.drain_output(cfg2, "out").unwrap(), vec![Word::new(5)]);
+}
+
+#[test]
+fn aborted_load_stops_mid_stream_and_frees_the_bus() {
+    let mut array = Array::xpp64a();
+    array.attach_fault_injector(injector_for(FaultKind::AbortLoad, 0));
+
+    let doomed = array.configure(&pipeline("doomed", 6)).unwrap();
+    let follower = array.configure(&pipeline("follower", 2)).unwrap();
+    array.run_until_idle(10_000).unwrap();
+
+    // The abort happens halfway through the window, strictly before the
+    // full load cost was paid, and the bus moves on to the next load.
+    assert_eq!(
+        array.load_error(doomed),
+        Some(Error::LoadAborted {
+            config: doomed.index()
+        })
+    );
+    assert!(!array.is_running(doomed));
+    assert!(array.is_running(follower), "bus wedged behind aborted load");
+    assert_eq!(array.config_fire_count(doomed), 0);
+
+    array.unload(doomed).unwrap();
+    array.push_input(follower, "in", [Word::new(3)]).unwrap();
+    array.run_until_idle(10_000).unwrap();
+    assert_eq!(
+        array.drain_output(follower, "out").unwrap(),
+        vec![Word::new(5)]
+    );
+}
+
+#[test]
+fn stalled_config_reports_running_but_fires_nothing() {
+    let mut array = Array::xpp64a();
+    array.attach_fault_injector(injector_for(FaultKind::StallConfig, 0));
+
+    let cfg = array.configure(&pipeline("zombie", 3)).unwrap();
+    array.push_input(cfg, "in", (0..8).map(Word::new)).unwrap();
+    array.run(10_000);
+
+    // The silent wrong state: running by every API, zero fires, no error.
+    assert!(array.is_running(cfg));
+    assert_eq!(array.load_error(cfg), None);
+    assert_eq!(array.config_fire_count(cfg), 0);
+    assert!(array.drain_output(cfg, "out").unwrap().is_empty());
+
+    // A watchdog disposing of it surfaces the fault record exactly once.
+    assert!(array.clear_injected_fault(cfg));
+    assert!(!array.clear_injected_fault(cfg));
+}
+
+#[test]
+fn injected_panic_unwinds_out_of_configure() {
+    let inj = injector_for(FaultKind::WorkerPanic, 0);
+    let nl = pipeline("crash", 2);
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut array = Array::xpp64a();
+        array.attach_fault_injector(Arc::clone(&inj));
+        let _ = array.configure(&nl);
+    }));
+    assert!(caught.is_err(), "WorkerPanic must unwind out of configure");
+    assert_eq!(inj.injected(FaultKind::WorkerPanic), 1);
+}
+
+#[test]
+fn empty_plan_is_bit_identical_to_no_injector() {
+    let run = |with_injector: bool| {
+        let mut array = Array::xpp64a();
+        if with_injector {
+            array.attach_fault_injector(Arc::new(FaultInjector::new(FaultPlan::default())));
+        }
+        let a = array.configure(&pipeline("a", 5)).unwrap();
+        let b = array.configure(&pipeline("b", 3)).unwrap();
+        array.push_input(a, "in", (0..16).map(Word::new)).unwrap();
+        array.push_input(b, "in", (0..16).map(Word::new)).unwrap();
+        array.run_until_idle(10_000).unwrap();
+        let out_a = array.drain_output(a, "out").unwrap();
+        let out_b = array.drain_output(b, "out").unwrap();
+        array.unload(a).unwrap();
+        let c = array.configure(&pipeline("c", 4)).unwrap();
+        array.push_input(c, "in", (0..4).map(Word::new)).unwrap();
+        array.run_until_idle(10_000).unwrap();
+        (
+            out_a,
+            out_b,
+            array.drain_output(c, "out").unwrap(),
+            array.stats(),
+        )
+    };
+    assert_eq!(run(false), run(true));
+}

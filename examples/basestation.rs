@@ -49,13 +49,29 @@ fn main() {
     }
     println!("{}", summary.snapshot);
 
-    println!("done {}  failed {}", summary.done(), summary.failed());
+    println!(
+        "done {}  failed {}  shed {}  dead-lettered {}",
+        summary.done(),
+        summary.failed(),
+        summary.shed(),
+        summary.dead_lettered()
+    );
     for s in &summary.completed {
-        if let SessionState::Failed(reason) = s.state() {
-            eprintln!("session {} ({:?}) failed: {reason}", s.id(), s.standard());
+        match s.state() {
+            SessionState::Failed(reason) => {
+                eprintln!("session {} ({:?}) failed: {reason}", s.id(), s.standard());
+            }
+            SessionState::DeadLettered(reason) => {
+                eprintln!(
+                    "session {} ({:?}) dead-lettered: {reason}",
+                    s.id(),
+                    s.standard()
+                );
+            }
+            _ => {}
         }
     }
-    if summary.failed() > 0 {
+    if summary.failed() > 0 || summary.dead_lettered() > 0 {
         std::process::exit(1);
     }
 }
