@@ -268,6 +268,11 @@ struct Resident {
     name: String,
     id: ConfigId,
     state: CmState,
+    /// The configuration's object-fire count when activity was last
+    /// refreshed. A resident whose live count still equals the mark has
+    /// done no work since — it is *quiescent* and a spill-aware prefetch
+    /// may reclaim its resources.
+    fire_mark: u64,
 }
 
 /// Per-worker configuration lifecycle driver.
@@ -284,8 +289,10 @@ struct Resident {
 ///
 /// When placement fails, resident configurations are evicted least
 /// recently used first and the load retried — the paper's Fig. 10
-/// resource recycling. Prefetches never evict: a speculative load must
-/// not cost a running configuration its resources.
+/// resource recycling. Prefetches may only *spill*: evict a quiescent
+/// resident (zero fires since the last activity refresh, and never the
+/// most recently activated configuration) — a speculative load must not
+/// cost a *working* configuration its resources.
 #[derive(Debug)]
 pub struct ConfigManager {
     store: Arc<ConfigStore>,
@@ -319,6 +326,27 @@ impl ConfigManager {
     /// Whether `name` is resident on the array (loading or active).
     pub fn is_resident(&self, name: &str) -> bool {
         self.resident.iter().any(|r| r.name == name)
+    }
+
+    /// Names of resident configurations, least recently used first — the
+    /// introspection the gang router builds its residency map from.
+    pub fn resident_names(&self) -> Vec<String> {
+        self.resident.iter().map(|r| r.name.clone()).collect()
+    }
+
+    /// Number of resident configurations.
+    pub fn resident_count(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Re-marks every resident's object-fire counter as seen. A resident
+    /// whose live count has not advanced past its mark by the next
+    /// placement squeeze is quiescent and eligible for a prefetch spill.
+    /// The dispatcher calls this after each batch (or session step).
+    pub fn refresh_activity(&mut self, array: &Array) {
+        for r in &mut self.resident {
+            r.fire_mark = array.config_fire_count(r.id);
+        }
     }
 
     /// Ensures the configuration is resident *and running*, returning its
@@ -366,10 +394,12 @@ impl ConfigManager {
         let id = self.place_with_eviction(array, &compiled)?;
         Self::finish_load(array, id, &self.metrics)?;
         Metrics::add(&self.metrics.config_words_demand, compiled.load_cycles());
+        let fire_mark = array.config_fire_count(id);
         self.resident.push(Resident {
             name,
             id,
             state: CmState::Active,
+            fire_mark,
         });
         Ok(id)
     }
@@ -385,9 +415,12 @@ impl ConfigManager {
     ///
     /// # Errors
     ///
-    /// Propagates array errors other than placement failure; a placement
-    /// failure skips the prefetch (speculative work must never evict a
-    /// resident configuration).
+    /// Propagates array errors other than placement failure. A placement
+    /// failure first tries to **spill** a quiescent resident (zero fires
+    /// since [`refresh_activity`](ConfigManager::refresh_activity), and
+    /// never the most recently activated configuration); if no quiescent
+    /// victim exists the prefetch is skipped — speculative work must never
+    /// evict a working configuration.
     pub fn prefetch(&mut self, array: &mut Array, spec: &KernelSpec) -> XppResult<bool> {
         let name = spec.config_name();
         if self.is_resident(&name) {
@@ -402,22 +435,59 @@ impl ConfigManager {
         if lookup.evicted {
             Metrics::incr(&self.metrics.cache_evictions);
         }
-        let id = match array.configure_compiled(&compiled) {
-            Ok(id) => id,
-            Err(XppError::PlacementFailed { .. }) => return Ok(false),
-            Err(e) => return Err(e),
+        let id = loop {
+            match array.configure_compiled(&compiled) {
+                Ok(id) => break id,
+                Err(XppError::PlacementFailed { .. }) => {
+                    if !self.spill_quiescent(array)? {
+                        return Ok(false);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
         };
         Metrics::incr(&self.metrics.prefetches);
         Metrics::add(
             &self.metrics.config_words_prefetched,
             compiled.load_cycles(),
         );
+        let fire_mark = array.config_fire_count(id);
         self.resident.push(Resident {
             name,
             id,
             state: CmState::Loading,
+            fire_mark,
         });
         Ok(true)
+    }
+
+    /// Evicts the least-recently-used *quiescent* resident to make room
+    /// for a prefetch: its fire counter has not advanced past its activity
+    /// mark, and it is not the most recently activated configuration
+    /// (which a session may be about to drive even at zero fires).
+    /// Returns whether a victim was spilled.
+    fn spill_quiescent(&mut self, array: &mut Array) -> XppResult<bool> {
+        let protected = self
+            .resident
+            .iter()
+            .rposition(|r| r.state == CmState::Active);
+        let victim = self
+            .resident
+            .iter()
+            .enumerate()
+            .find(|(i, r)| Some(*i) != protected && array.config_fire_count(r.id) == r.fire_mark)
+            .map(|(i, _)| i);
+        match victim {
+            Some(i) => {
+                let entry = self.resident.remove(i);
+                Self::surface_fault(array, entry.id, &self.metrics);
+                array.unload(entry.id)?;
+                Metrics::incr(&self.metrics.prefetch_spills);
+                Metrics::incr(&self.metrics.cache_evictions);
+                Ok(true)
+            }
+            None => Ok(false),
+        }
     }
 
     /// Unloads the named configuration if resident (in any lifecycle
@@ -598,9 +668,11 @@ mod tests {
     #[test]
     fn prefetch_never_evicts_residents() {
         let metrics = Arc::new(Metrics::new());
-        let mut cm = ConfigManager::new(Arc::new(ConfigStore::new(8)), metrics);
+        let mut cm = ConfigManager::new(Arc::new(ConfigStore::new(8)), Arc::clone(&metrics));
         // An array whose I/O channels fit the detector exactly, so any
-        // further configuration fails placement.
+        // further configuration fails placement. The detector is the most
+        // recently activated configuration, so even the spill-aware
+        // prefetch must not touch it.
         let compiled = CompiledConfig::compile(&DETECTOR.build());
         let mut geometry = xpp_array::Geometry::xpp64a();
         geometry.io_channels = compiled.placement().counts.io;
@@ -611,5 +683,70 @@ mod tests {
             "prefetch must fail soft when the array is full"
         );
         assert!(cm.is_resident(&DETECTOR.config_name()), "resident survived");
+        assert_eq!(metrics.snapshot().prefetch_spills, 0);
+    }
+
+    /// Sizes an array's I/O channels to fit exactly the given specs.
+    fn array_fitting(specs: &[&KernelSpec]) -> Array {
+        let mut geometry = xpp_array::Geometry::xpp64a();
+        geometry.io_channels = specs
+            .iter()
+            .map(|s| CompiledConfig::compile(&s.build()).placement().counts.io)
+            .sum();
+        Array::with_geometry(geometry)
+    }
+
+    #[test]
+    fn prefetch_spills_a_quiescent_resident() {
+        let metrics = Arc::new(Metrics::new());
+        let mut cm = ConfigManager::new(Arc::new(ConfigStore::new(8)), Arc::clone(&metrics));
+        let mut array = array_fitting(&[&DESCRAMBLER, &DETECTOR]);
+        cm.activate(&mut array, &DESCRAMBLER).unwrap();
+        cm.activate(&mut array, &DETECTOR).unwrap();
+        cm.refresh_activity(&array);
+        // Array is full; the descrambler has done no work since the
+        // refresh and is not the most recent activation, so the prefetch
+        // may reclaim its resources.
+        assert!(
+            cm.prefetch(&mut array, &DEMODULATOR).unwrap(),
+            "prefetch spills the quiescent descrambler"
+        );
+        assert!(!cm.is_resident(&DESCRAMBLER.config_name()));
+        assert!(cm.is_resident(&DETECTOR.config_name()));
+        assert_eq!(
+            cm.state_of(&DEMODULATOR.config_name()),
+            Some(CmState::Loading)
+        );
+        let snap = metrics.snapshot();
+        assert_eq!(snap.prefetch_spills, 1);
+        assert_eq!(snap.prefetches, 1);
+    }
+
+    #[test]
+    fn prefetch_never_spills_a_busy_resident() {
+        let metrics = Arc::new(Metrics::new());
+        let mut cm = ConfigManager::new(Arc::new(ConfigStore::new(8)), Arc::clone(&metrics));
+        let mut array = array_fitting(&[&DETECTOR, &DESCRAMBLER]);
+        let det = cm.activate(&mut array, &DETECTOR).unwrap();
+        cm.refresh_activity(&array);
+        // Drive samples through the detector so its fire counter advances
+        // past the activity mark: it is resident-but-busy.
+        use xpp_array::Word;
+        let burst: Vec<Word> = (0..32).map(Word::new).collect();
+        array.push_input(det, "i_in", burst.clone()).unwrap();
+        array.push_input(det, "q_in", burst).unwrap();
+        for _ in 0..64 {
+            array.step();
+        }
+        cm.activate(&mut array, &DESCRAMBLER).unwrap();
+        // Full array again; the detector fired since its mark and the
+        // descrambler is the most recent activation — no victim.
+        assert!(
+            !cm.prefetch(&mut array, &DEMODULATOR).unwrap(),
+            "no quiescent victim: prefetch must fail soft"
+        );
+        assert!(cm.is_resident(&DETECTOR.config_name()));
+        assert!(cm.is_resident(&DESCRAMBLER.config_name()));
+        assert_eq!(metrics.snapshot().prefetch_spills, 0);
     }
 }

@@ -66,8 +66,12 @@ pub const ADMISSION_HORIZON_CYCLES: u64 = 2 * session::WCDMA_PERIOD_CYCLES;
 /// Engine sizing. Mirrors [`PoolConfig`] minus the test-only pause knob.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EngineConfig {
-    /// Worker shards (one array each).
+    /// Worker shards (one array gang each).
     pub shards: usize,
+    /// Arrays per shard gang; above 1 the shard batches sessions by
+    /// kernel and amortises configuration loads across each batch (see
+    /// [`PoolConfig::arrays_per_shard`]).
+    pub arrays_per_shard: usize,
     /// Bounded per-shard queue depth.
     pub queue_depth: usize,
     /// Compiled configurations the process-wide store may hold.
@@ -88,6 +92,7 @@ impl Default for EngineConfig {
         let p = PoolConfig::default();
         EngineConfig {
             shards: p.shards,
+            arrays_per_shard: p.arrays_per_shard,
             queue_depth: p.queue_depth,
             cache_capacity: p.cache_capacity,
             recovery: p.recovery,
@@ -164,8 +169,10 @@ impl Engine {
         let pool = ShardPool::new(
             PoolConfig {
                 shards: config.shards,
+                arrays_per_shard: config.arrays_per_shard,
                 queue_depth: config.queue_depth,
                 cache_capacity: config.cache_capacity,
+                replicate_after_cycles: PoolConfig::default().replicate_after_cycles,
                 start_paused: false,
                 recovery: config.recovery,
                 #[cfg(feature = "faults")]
@@ -296,7 +303,8 @@ impl Engine {
                 std::thread::yield_now();
             }
         }
-        self.pool.sync_fault_metrics();
+        // Fault-injection counters fold into the snapshot automatically via
+        // the pool's registered metrics sync hook.
         RunSummary {
             completed,
             admission,

@@ -8,6 +8,7 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Number of distinct kernel classes tracked by the per-kernel counters.
 pub const KERNEL_KINDS: usize = KernelKind::ALL.len();
@@ -114,6 +115,30 @@ pub struct Metrics {
     pub dead_letters: AtomicU64,
     /// Sessions shed under admission pressure (EDF-lowest first).
     pub sessions_shed: AtomicU64,
+    /// Batches formed by the gang dispatcher (one per kernel group per
+    /// dispatch round; a gang of 1 never batches, so this stays 0 on the
+    /// seed path).
+    pub batches_dispatched: AtomicU64,
+    /// Sessions dispatched through batches (`batch_sessions ÷
+    /// batches_dispatched` is the mean batch size).
+    pub batch_sessions: AtomicU64,
+    /// Batches routed to an array where the kernel was already resident —
+    /// zero configuration-bus traffic for the whole batch.
+    pub batch_warm_hits: AtomicU64,
+    /// Times the router replicated a hot kernel onto an additional gang
+    /// member to spread a saturated batch stream.
+    pub batch_replications: AtomicU64,
+    /// Quiescent residents evicted by a spill-aware prefetch (instead of
+    /// soft-failing the prefetch).
+    pub prefetch_spills: AtomicU64,
+    /// Total array cycles stepped by pool workers (all gang members).
+    pub array_cycles_run: AtomicU64,
+    /// Configuration words streamed over every worker array's bus
+    /// (per-array [`xpp_array::ArrayStats::config_words`], summed).
+    pub config_words_streamed: AtomicU64,
+    /// High-water mark of any single gang member's total array cycles —
+    /// the modeled-platform makespan when members run in parallel.
+    pub array_makespan_cycles: AtomicU64,
     /// Array execution cycles per kernel class.
     kernel_cycles: [AtomicU64; KERNEL_KINDS],
     /// Jobs per kernel class.
@@ -122,6 +147,24 @@ pub struct Metrics {
     /// counters, so cycles ÷ fires exposes each kernel's datapath
     /// occupancy).
     kernel_fires: [AtomicU64; KERNEL_KINDS],
+    /// Callbacks run at the top of [`Metrics::snapshot`] so lazily-synced
+    /// counters (e.g. the pool's fault-injection ledger) are always current
+    /// in a report — no manual sync call to forget.
+    sync_hooks: SyncHooks,
+}
+
+/// A snapshot-time sync callback (see [`Metrics::register_sync`]).
+type SyncHook = Box<dyn Fn(&Metrics) + Send + Sync>;
+
+/// Registered snapshot-time sync callbacks (see [`Metrics::register_sync`]).
+#[derive(Default)]
+struct SyncHooks(Mutex<Vec<SyncHook>>);
+
+impl fmt::Debug for SyncHooks {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n = self.0.lock().map(|v| v.len()).unwrap_or(0);
+        write!(f, "SyncHooks({n})")
+    }
 }
 
 impl Metrics {
@@ -153,8 +196,34 @@ impl Metrics {
         self.kernel_fires[kind.index()].fetch_add(fires, Ordering::Relaxed);
     }
 
-    /// Takes a point-in-time snapshot of every counter.
+    /// Registers a callback that runs at the top of every [`snapshot`]
+    /// (and therefore before every report). The pool uses this to fold its
+    /// fault-injection ledger into the registry so `faults_injected` is
+    /// always current without a manual sync call.
+    ///
+    /// [`snapshot`]: Metrics::snapshot
+    pub fn register_sync(&self, hook: impl Fn(&Metrics) + Send + Sync + 'static) {
+        // A hook that panicked mid-call left nothing torn; keep reporting.
+        self.sync_hooks
+            .0
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(Box::new(hook));
+    }
+
+    /// Takes a point-in-time snapshot of every counter, running any
+    /// registered sync hooks first.
     pub fn snapshot(&self) -> Snapshot {
+        {
+            let hooks = self
+                .sync_hooks
+                .0
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            for hook in hooks.iter() {
+                hook(self);
+            }
+        }
         let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
         Snapshot {
             sessions_started: load(&self.sessions_started),
@@ -181,6 +250,14 @@ impl Metrics {
             worker_restarts: load(&self.worker_restarts),
             dead_letters: load(&self.dead_letters),
             sessions_shed: load(&self.sessions_shed),
+            batches_dispatched: load(&self.batches_dispatched),
+            batch_sessions: load(&self.batch_sessions),
+            batch_warm_hits: load(&self.batch_warm_hits),
+            batch_replications: load(&self.batch_replications),
+            prefetch_spills: load(&self.prefetch_spills),
+            array_cycles_run: load(&self.array_cycles_run),
+            config_words_streamed: load(&self.config_words_streamed),
+            array_makespan_cycles: load(&self.array_makespan_cycles),
             kernel_cycles: std::array::from_fn(|i| load(&self.kernel_cycles[i])),
             kernel_jobs: std::array::from_fn(|i| load(&self.kernel_jobs[i])),
             kernel_fires: std::array::from_fn(|i| load(&self.kernel_fires[i])),
@@ -239,6 +316,22 @@ pub struct Snapshot {
     pub dead_letters: u64,
     /// Sessions shed under admission pressure.
     pub sessions_shed: u64,
+    /// Batches formed by the gang dispatcher.
+    pub batches_dispatched: u64,
+    /// Sessions dispatched through batches.
+    pub batch_sessions: u64,
+    /// Batches that routed entirely to a warm (already-resident) array.
+    pub batch_warm_hits: u64,
+    /// Hot-kernel replications onto additional gang members.
+    pub batch_replications: u64,
+    /// Quiescent residents evicted by a spill-aware prefetch.
+    pub prefetch_spills: u64,
+    /// Total array cycles stepped by pool workers.
+    pub array_cycles_run: u64,
+    /// Configuration words streamed over every worker array's bus.
+    pub config_words_streamed: u64,
+    /// High-water mark of a single gang member's total array cycles.
+    pub array_makespan_cycles: u64,
     /// Array cycles per kernel class (indexed by [`KernelKind::index`]).
     pub kernel_cycles: [u64; KERNEL_KINDS],
     /// Jobs per kernel class (indexed by [`KernelKind::index`]).
@@ -261,6 +354,27 @@ impl Snapshot {
     /// Total array cycles across all kernel classes.
     pub fn total_kernel_cycles(&self) -> u64 {
         self.kernel_cycles.iter().sum()
+    }
+
+    /// Mean sessions per dispatched batch, or 0 with no batches.
+    pub fn avg_batch_size(&self) -> f64 {
+        if self.batches_dispatched == 0 {
+            0.0
+        } else {
+            self.batch_sessions as f64 / self.batches_dispatched as f64
+        }
+    }
+
+    /// Fraction of worker-array cycles the configuration bus sat idle —
+    /// the paper's steady-state figure of merit (a well-amortised platform
+    /// streams data with the bus near 100 % idle). 0 with no cycles run.
+    pub fn bus_idle_ratio(&self) -> f64 {
+        if self.array_cycles_run == 0 {
+            0.0
+        } else {
+            let busy = self.config_bus_cycles.min(self.array_cycles_run);
+            1.0 - busy as f64 / self.array_cycles_run as f64
+        }
     }
 
     /// Total object fires across all kernel classes.
@@ -301,8 +415,25 @@ impl fmt::Display for Snapshot {
         )?;
         writeln!(
             f,
-            "  prefetch    issued  {:>8}  hits      {:>8}",
-            self.prefetches, self.prefetch_hits
+            "  prefetch    issued  {:>8}  hits      {:>8}  spills    {:>8}",
+            self.prefetches, self.prefetch_hits, self.prefetch_spills
+        )?;
+        writeln!(
+            f,
+            "  batching    batches {:>8}  sessions  {:>8}  warm hits {:>4}  replications {:>4}  avg size {:>5.1}",
+            self.batches_dispatched,
+            self.batch_sessions,
+            self.batch_warm_hits,
+            self.batch_replications,
+            self.avg_batch_size()
+        )?;
+        writeln!(
+            f,
+            "  arrays      cycles  {:>8}  makespan  {:>8}  cfg words {:>8}  bus idle {:>5.1}%",
+            self.array_cycles_run,
+            self.array_makespan_cycles,
+            self.config_words_streamed,
+            100.0 * self.bus_idle_ratio()
         )?;
         writeln!(
             f,
@@ -381,6 +512,31 @@ mod tests {
         Metrics::add(&m.cache_hits, 3);
         Metrics::add(&m.cache_misses, 1);
         assert!((m.snapshot().cache_hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sync_hooks_run_on_snapshot() {
+        let m = Metrics::new();
+        m.register_sync(|m| Metrics::raise_to(&m.faults_injected, 7));
+        assert_eq!(m.snapshot().faults_injected, 7);
+        // Hooks are monotonic syncs, so repeated snapshots are stable.
+        Metrics::add(&m.faults_injected, 3);
+        assert_eq!(m.snapshot().faults_injected, 10);
+    }
+
+    #[test]
+    fn batch_and_bus_ratios() {
+        assert_eq!(Snapshot::default().avg_batch_size(), 0.0);
+        assert_eq!(Snapshot::default().bus_idle_ratio(), 0.0);
+        let s = Snapshot {
+            batches_dispatched: 4,
+            batch_sessions: 10,
+            array_cycles_run: 1000,
+            config_bus_cycles: 100,
+            ..Snapshot::default()
+        };
+        assert!((s.avg_batch_size() - 2.5).abs() < 1e-12);
+        assert!((s.bus_idle_ratio() - 0.9).abs() < 1e-12);
     }
 
     #[test]

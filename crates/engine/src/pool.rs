@@ -1,13 +1,39 @@
-//! Sharded worker pool: each worker thread owns one simulated XPP array.
+//! Sharded worker pool: each worker thread owns a *gang* of simulated
+//! XPP arrays.
 //!
 //! Terminal sessions are submitted to a shard chosen by session id
-//! (sticky affinity, so a terminal keeps hitting the same worker's
-//! configuration cache). Each shard has a *bounded* queue: a full shard
-//! rejects the submission with [`SubmitError::WouldBlock`] instead of
-//! buffering unboundedly, which is the engine's backpressure signal.
+//! (sticky affinity, so a terminal keeps hitting the same shard's
+//! configuration residency). Each shard has a *bounded* queue: a full
+//! shard rejects the submission with [`SubmitError::WouldBlock`] instead
+//! of buffering unboundedly, which is the engine's backpressure signal.
 //! Workers drain their queue into a deadline-ordered heap and always run
 //! the most urgent session next (EDF dispatch, the runtime counterpart of
 //! [`sdr_core::scheduler::schedule_edf`]).
+//!
+//! # Batched gang dispatch
+//!
+//! With [`PoolConfig::arrays_per_shard`] > 1 the shard thread owns a gang
+//! of [`WorkerArray`]s and dispatches in *rounds*: it drains everything
+//! queued right now (the dispatch window, bounded by the queue depth),
+//! groups the window by each session's next [`KernelSpec`]
+//! ([`Session::next_kernel`]), and runs each group back-to-back on an
+//! array where that kernel is already resident — one configuration load
+//! serves the whole batch, which is the paper's steady-state premise: a
+//! configuration loads once and then streams data while the bus idles.
+//! Routing decisions come from a residency map rebuilt each round from
+//! [`ConfigManager`] introspection (so it is self-healing across worker
+//! rebuilds), warm batches pin to their resident member, cold kernels
+//! fall to the least-busy member, and a hot kernel is *replicated* onto
+//! another member when its home has pulled more than
+//! [`PoolConfig::replicate_after_cycles`] array cycles ahead of the
+//! idlest member — up to `gang − 1` replicas, always leaving one array
+//! clear so a newly arriving kernel never has to evict the hot set.
+//!
+//! EDF ordering holds *within* a batch (groups are split into contiguous
+//! most-urgent-first chunks and chunks run in order), and deadline
+//! inversion *across* batches is bounded by the dispatch window: a
+//! session's step can be delayed by at most the other sessions drained in
+//! the same round, never by later arrivals.
 
 use std::collections::BinaryHeap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -77,6 +103,8 @@ pub struct WorkerArray {
     cm: ConfigManager,
     metrics: Arc<Metrics>,
     policy: RecoveryPolicy,
+    retain_swap_source: bool,
+    prefetch_enabled: bool,
 }
 
 impl WorkerArray {
@@ -105,7 +133,32 @@ impl WorkerArray {
             cm: ConfigManager::new(store, Arc::clone(&metrics)),
             metrics,
             policy,
+            retain_swap_source: false,
+            prefetch_enabled: true,
         }
+    }
+
+    /// Enables or disables speculative prefetch. On a single array the
+    /// prefetch overlaps the next kernel's bus load with the current
+    /// kernel's run (Fig. 10); on a gang member the next kernel is
+    /// already resident on *another* member the dispatcher will route to,
+    /// so a local prefetch only duplicates the configuration across the
+    /// gang — bus words the batching exists to save. Batched dispatch
+    /// disables it on every member.
+    pub fn set_prefetch_enabled(&mut self, enabled: bool) {
+        self.prefetch_enabled = enabled;
+    }
+
+    /// Switches [`swap`](WorkerArray::swap) between the Fig. 10 policy
+    /// (unload the source to recycle its resources — the right call when
+    /// one terminal owns the whole array, the seed behaviour and the
+    /// default) and the *gang* policy (leave the source resident so the
+    /// next batch of its kernel activates for free; placement pressure
+    /// still recycles it through the manager's LRU eviction when the
+    /// array genuinely runs out of room). Batched dispatch sets this on
+    /// every gang member: residency is exactly what batching amortises.
+    pub fn set_retain_swap_source(&mut self, retain: bool) {
+        self.retain_swap_source = retain;
     }
 
     /// Attaches a shared fault injector to this worker's array. The
@@ -144,6 +197,14 @@ impl WorkerArray {
     /// Whether the kernel's configuration is currently on the array.
     pub fn is_resident(&self, name: &str) -> bool {
         self.cm.is_resident(name)
+    }
+
+    /// Re-marks every resident configuration's fire counter as seen, so
+    /// residents that do no work before the next placement squeeze are
+    /// quiescent and spillable by a prefetch. Dispatchers call this after
+    /// each batch (or session step).
+    pub fn refresh_activity(&mut self) {
+        self.cm.refresh_activity(&self.array);
     }
 
     /// Ensures the kernel's configuration is loaded and running, and
@@ -235,12 +296,19 @@ impl WorkerArray {
     /// waiting for it, so a later [`activate`](WorkerArray::activate) (or
     /// [`swap`](WorkerArray::swap)) pays only residual activation.
     /// Returns whether a prefetch was issued (`false` when already
-    /// resident or the array is too full — prefetches never evict).
+    /// resident, when prefetch is
+    /// [disabled](WorkerArray::set_prefetch_enabled), or when the array
+    /// is too full even after spilling quiescent residents — a prefetch
+    /// may evict residents that have fired nothing since their last
+    /// batch, never the active one).
     ///
     /// # Errors
     ///
     /// Propagates array errors other than placement failure.
     pub fn prefetch(&mut self, spec: impl Into<KernelSpec>) -> XppResult<bool> {
+        if !self.prefetch_enabled {
+            return Ok(false);
+        }
         self.cm.prefetch(&mut self.array, &spec.into())
     }
 
@@ -261,6 +329,10 @@ impl WorkerArray {
     /// on the swap are recorded in `reconfig_cycles` (~0 when `to` was
     /// prefetched).
     ///
+    /// Under [`set_retain_swap_source`](WorkerArray::set_retain_swap_source)
+    /// the unload is skipped: both kernels stay resident and only
+    /// placement pressure recycles the source.
+    ///
     /// # Errors
     ///
     /// Returns an error if the unload or the activation fails.
@@ -270,9 +342,11 @@ impl WorkerArray {
         to: impl Into<KernelSpec>,
     ) -> XppResult<ConfigId> {
         let cycles_before = self.array.stats().cycles;
-        let unloaded = self.deactivate(from)?;
-        if unloaded {
-            Metrics::incr(&self.metrics.reconfigurations);
+        if !self.retain_swap_source {
+            let unloaded = self.deactivate(from)?;
+            if unloaded {
+                Metrics::incr(&self.metrics.reconfigurations);
+            }
         }
         let id = self.activate(to)?;
         Metrics::add(
@@ -286,8 +360,20 @@ impl WorkerArray {
 /// Pool sizing and behaviour.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PoolConfig {
-    /// Number of worker threads (each owning one array).
+    /// Number of worker threads (each owning one array gang).
     pub shards: usize,
+    /// Arrays per shard gang. `1` (the default) keeps the seed behaviour:
+    /// one array per shard, one session stepped per dispatch. Larger
+    /// gangs enable batched dispatch: sessions are grouped by kernel and
+    /// each group runs back-to-back on an array where its configuration
+    /// is already resident.
+    pub arrays_per_shard: usize,
+    /// Gang-routing saturation threshold, in array cycles: a hot kernel
+    /// is replicated onto an additional member once the busiest of its
+    /// warm members is this many cycles ahead of the idlest member.
+    /// Smaller values spread hot kernels sooner (more parallel headroom,
+    /// more configuration-bus traffic); larger values amortise harder.
+    pub replicate_after_cycles: u64,
     /// Bounded depth of each shard's submission queue.
     pub queue_depth: usize,
     /// Compiled configurations the process-wide store may hold (shared by
@@ -310,6 +396,8 @@ impl Default for PoolConfig {
     fn default() -> Self {
         PoolConfig {
             shards: 4,
+            arrays_per_shard: 1,
+            replicate_after_cycles: 2_000,
             queue_depth: 32,
             cache_capacity: 8,
             start_paused: false,
@@ -417,18 +505,27 @@ pub struct ShardPool {
     shards: Vec<ShardHandle>,
     results: Receiver<Session>,
     metrics: Arc<Metrics>,
-    #[cfg(feature = "faults")]
-    injector: Option<Arc<FaultInjector>>,
 }
 
 impl ShardPool {
-    /// Spawns `config.shards` workers, each with its own array and cache.
+    /// Spawns `config.shards` workers, each owning a gang of
+    /// `config.arrays_per_shard` arrays over one shared compiled-config
+    /// store.
+    ///
+    /// With a fault plan, the pool-wide injector's fire counters are
+    /// folded into the registry by a [`Metrics::register_sync`] hook, so
+    /// `faults_injected` is always current in any snapshot or report — no
+    /// manual sync call.
     ///
     /// # Panics
     ///
-    /// Panics if `shards` or `queue_depth` is zero.
+    /// Panics if `shards`, `arrays_per_shard` or `queue_depth` is zero.
     pub fn new(config: PoolConfig, metrics: Arc<Metrics>) -> Self {
         assert!(config.shards > 0, "pool needs at least one shard");
+        assert!(
+            config.arrays_per_shard > 0,
+            "each shard needs at least one array"
+        );
         assert!(config.queue_depth > 0, "queue depth must be positive");
         let (results_tx, results) = mpsc::channel();
         // One compiled-config store for the whole pool: a kernel is built
@@ -439,6 +536,13 @@ impl ShardPool {
             .fault_plan
             .clone()
             .map(|plan| Arc::new(FaultInjector::new(plan)));
+        #[cfg(feature = "faults")]
+        if let Some(inj) = &injector {
+            let inj = Arc::clone(inj);
+            metrics.register_sync(move |m| {
+                Metrics::raise_to(&m.faults_injected, inj.injected_total());
+            });
+        }
         let shards = (0..config.shards)
             .map(|_| {
                 let (tx, rx) = mpsc::sync_channel::<Session>(config.queue_depth);
@@ -452,6 +556,8 @@ impl ShardPool {
                     metrics: Arc::clone(&metrics),
                     store: Arc::clone(&store),
                     policy: config.recovery,
+                    gang: config.arrays_per_shard,
+                    replicate_after_cycles: config.replicate_after_cycles,
                     #[cfg(feature = "faults")]
                     injector: injector.clone(),
                 };
@@ -468,19 +574,6 @@ impl ShardPool {
             shards,
             results,
             metrics,
-            #[cfg(feature = "faults")]
-            injector,
-        }
-    }
-
-    /// Folds the pool-wide injector's fire counters into the metrics
-    /// registry, so `faults_injected` in a snapshot reflects every fault
-    /// the plan has actually triggered so far. No-op without a plan (and
-    /// compiled out entirely without the `faults` feature).
-    pub fn sync_fault_metrics(&self) {
-        #[cfg(feature = "faults")]
-        if let Some(inj) = &self.injector {
-            Metrics::raise_to(&self.metrics.faults_injected, inj.injected_total());
         }
     }
 
@@ -595,18 +688,26 @@ struct WorkerSeed {
     metrics: Arc<Metrics>,
     store: Arc<ConfigStore>,
     policy: RecoveryPolicy,
+    gang: usize,
+    replicate_after_cycles: u64,
     #[cfg(feature = "faults")]
     injector: Option<Arc<FaultInjector>>,
 }
 
 impl WorkerSeed {
     fn fresh_worker(&self) -> WorkerArray {
-        #[allow(unused_mut)]
         let mut worker = WorkerArray::with_policy(
             Arc::clone(&self.store),
             Arc::clone(&self.metrics),
             self.policy,
         );
+        // Gang members keep swap sources resident: the batching
+        // dispatcher routes each kernel's stream back to its warm member,
+        // so recycling a kernel's resources per session (the single-array
+        // Fig. 10 policy) would undo exactly the residency the gang
+        // amortises.
+        worker.set_retain_swap_source(self.gang > 1);
+        worker.set_prefetch_enabled(self.gang == 1);
         #[cfg(feature = "faults")]
         if let Some(inj) = &self.injector {
             worker.attach_fault_injector(Arc::clone(inj));
@@ -615,47 +716,90 @@ impl WorkerSeed {
     }
 }
 
+/// Receives into the heap without blocking; clears `open` on disconnect.
+fn drain_queue(
+    rx: &Receiver<Session>,
+    seed: &WorkerSeed,
+    heap: &mut BinaryHeap<QueuedSession>,
+    seq: &mut u64,
+    open: &mut bool,
+) {
+    loop {
+        match rx.try_recv() {
+            Ok(session) => {
+                seed.depth.fetch_sub(1, Ordering::Relaxed);
+                *seq += 1;
+                heap.push(QueuedSession {
+                    deadline: session.deadline(),
+                    seq: *seq,
+                    session,
+                });
+            }
+            Err(TryRecvError::Empty) => break,
+            Err(TryRecvError::Disconnected) => {
+                *open = false;
+                break;
+            }
+        }
+    }
+}
+
+/// Blocks for one session when the heap is empty; clears `open` on
+/// disconnect.
+fn recv_one(
+    rx: &Receiver<Session>,
+    seed: &WorkerSeed,
+    heap: &mut BinaryHeap<QueuedSession>,
+    seq: &mut u64,
+    open: &mut bool,
+) {
+    match rx.recv() {
+        Ok(session) => {
+            seed.depth.fetch_sub(1, Ordering::Relaxed);
+            *seq += 1;
+            heap.push(QueuedSession {
+                deadline: session.deadline(),
+                seq: *seq,
+                session,
+            });
+        }
+        Err(_) => *open = false,
+    }
+}
+
+/// Credits one step's array activity to the pool-level counters and the
+/// member's cumulative busy count (which survives worker rebuilds, unlike
+/// the array's own stats).
+fn credit_array_activity(
+    metrics: &Metrics,
+    busy: &mut u64,
+    before: xpp_array::ArrayStats,
+    after: xpp_array::ArrayStats,
+) {
+    let delta = after.delta_since(&before);
+    *busy += delta.cycles;
+    Metrics::add(&metrics.array_cycles_run, delta.cycles);
+    Metrics::add(&metrics.config_words_streamed, delta.config_words);
+    Metrics::raise_to(&metrics.array_makespan_cycles, *busy);
+}
+
 fn worker_loop(rx: Receiver<Session>, seed: WorkerSeed) {
+    if seed.gang > 1 {
+        return gang_loop(rx, seed);
+    }
     let mut worker = seed.fresh_worker();
+    let mut busy = 0u64;
     let mut heap: BinaryHeap<QueuedSession> = BinaryHeap::new();
     let mut seq = 0u64;
     let mut open = true;
     loop {
         seed.pause.wait_ready();
-        loop {
-            match rx.try_recv() {
-                Ok(session) => {
-                    seed.depth.fetch_sub(1, Ordering::Relaxed);
-                    seq += 1;
-                    heap.push(QueuedSession {
-                        deadline: session.deadline(),
-                        seq,
-                        session,
-                    });
-                }
-                Err(TryRecvError::Empty) => break,
-                Err(TryRecvError::Disconnected) => {
-                    open = false;
-                    break;
-                }
-            }
-        }
+        drain_queue(&rx, &seed, &mut heap, &mut seq, &mut open);
         let Some(queued) = heap.pop() else {
             if !open {
                 return; // queue closed and drained: clean exit
             }
-            match rx.recv() {
-                Ok(session) => {
-                    seed.depth.fetch_sub(1, Ordering::Relaxed);
-                    seq += 1;
-                    heap.push(QueuedSession {
-                        deadline: session.deadline(),
-                        seq,
-                        session,
-                    });
-                }
-                Err(_) => open = false,
-            }
+            recv_one(&rx, &seed, &mut heap, &mut seq, &mut open);
             continue;
         };
         let mut session = queued.session;
@@ -667,9 +811,14 @@ fn worker_loop(rx: Receiver<Session>, seed: WorkerSeed) {
         // dead-letters it, it never resumes mid-kernel state), and the
         // worker — whose array may be mid-mutation — is dropped wholesale
         // and rebuilt from the seed.
+        let before = worker.array().stats();
         let stepped = catch_unwind(AssertUnwindSafe(|| session.step(&mut worker)));
+        credit_array_activity(&seed.metrics, &mut busy, before, worker.array().stats());
         match stepped {
-            Ok(()) => Metrics::incr(&seed.metrics.jobs_run),
+            Ok(()) => {
+                Metrics::incr(&seed.metrics.jobs_run);
+                worker.refresh_activity();
+            }
             Err(_) => {
                 // Pending fault records on the discarded array (e.g. a
                 // stall nobody exercised yet) would vanish with it; count
@@ -688,9 +837,180 @@ fn worker_loop(rx: Receiver<Session>, seed: WorkerSeed) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Gang dispatch (arrays_per_shard > 1)
+// ---------------------------------------------------------------------------
+
+/// Groups an EDF-ordered dispatch window by each session's next kernel,
+/// preserving order: within a batch sessions stay in EDF order, and
+/// batches are ordered by their most urgent member (first-seen in the
+/// EDF-sorted window). Deadline inversion is therefore bounded by the
+/// window size — a session is only ever run after sessions that were
+/// *drained in the same round*, never after later arrivals.
+fn form_batches(window: Vec<Session>) -> Vec<(Option<KernelSpec>, Vec<Session>)> {
+    let mut batches: Vec<(Option<KernelSpec>, Vec<Session>)> = Vec::new();
+    for session in window {
+        let key = session.next_kernel();
+        match batches.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, batch)) => batch.push(session),
+            None => batches.push((key, vec![session])),
+        }
+    }
+    batches
+}
+
+/// A shard's array gang: the members, their cumulative busy cycles (the
+/// activity counters routing decisions use; they survive worker rebuilds)
+/// and the routing policy knobs.
+struct Gang<'a> {
+    members: Vec<WorkerArray>,
+    busy: Vec<u64>,
+    seed: &'a WorkerSeed,
+}
+
+impl<'a> Gang<'a> {
+    fn new(seed: &'a WorkerSeed) -> Self {
+        Gang {
+            members: (0..seed.gang).map(|_| seed.fresh_worker()).collect(),
+            busy: vec![0; seed.gang],
+            seed,
+        }
+    }
+
+    /// The member that has stepped the fewest array cycles — the
+    /// least-recently-active target for cold kernels and host-only steps.
+    fn least_busy(&self, exclude: &[usize]) -> Option<usize> {
+        (0..self.members.len())
+            .filter(|m| !exclude.contains(m))
+            .min_by_key(|&m| (self.busy[m], m))
+    }
+
+    /// Picks the members a batch runs on, most idle first.
+    ///
+    /// * Host-only batches (no kernel) touch no array: least-busy member.
+    /// * Warm batches pin to the members where the kernel is resident
+    ///   (the residency map, read fresh from [`ConfigManager`]
+    ///   introspection each round so it heals across worker rebuilds).
+    /// * Cold kernels fall to the least-busy member.
+    /// * A saturated hot kernel is replicated onto the idlest member —
+    ///   paying one extra configuration load to split the stream — up to
+    ///   `gang − 1` replicas, so one array always stays clear of the hot
+    ///   set for whatever arrives next.
+    fn route(&self, key: Option<&KernelSpec>, metrics: &Metrics) -> Vec<usize> {
+        // The gang is never empty (`ShardPool::new` asserts it), so an
+        // unexcluded least-busy scan always finds a member.
+        let Some(key) = key else {
+            return vec![self.least_busy(&[]).unwrap_or(0)];
+        };
+        let name = key.config_name();
+        let mut homes: Vec<usize> = (0..self.members.len())
+            .filter(|&m| self.members[m].is_resident(&name))
+            .collect();
+        if homes.is_empty() {
+            homes.push(self.least_busy(&[]).unwrap_or(0));
+        } else {
+            Metrics::incr(&metrics.batch_warm_hits);
+        }
+        let max_replicas = (self.members.len() - 1).max(1);
+        while homes.len() < max_replicas {
+            let Some(idlest) = self.least_busy(&homes) else {
+                break;
+            };
+            let warmest = homes.iter().map(|&m| self.busy[m]).max().unwrap_or(0);
+            if warmest.saturating_sub(self.busy[idlest]) <= self.seed.replicate_after_cycles {
+                break;
+            }
+            homes.push(idlest);
+            Metrics::incr(&metrics.batch_replications);
+        }
+        // Most idle first: the largest (most urgent) chunk lands on the
+        // member with the most headroom.
+        homes.sort_by_key(|&m| (self.busy[m], m));
+        homes
+    }
+
+    /// Runs one EDF-ordered batch: splits it into contiguous chunks (most
+    /// urgent first) across the routed members and steps every session
+    /// back-to-back — the batch pays for its kernel's configuration at
+    /// most once per member.
+    fn run_batch(&mut self, key: Option<KernelSpec>, sessions: Vec<Session>) {
+        let metrics = &self.seed.metrics;
+        Metrics::incr(&metrics.batches_dispatched);
+        Metrics::add(&metrics.batch_sessions, sessions.len() as u64);
+        let homes = self.route(key.as_ref(), metrics);
+        let chunk = sessions.len().div_ceil(homes.len());
+        let mut remaining = sessions.into_iter();
+        for &member in &homes {
+            let chunk_sessions: Vec<Session> = remaining.by_ref().take(chunk).collect();
+            for session in chunk_sessions {
+                self.run_session(member, session);
+            }
+            self.members[member].refresh_activity();
+        }
+    }
+
+    /// One supervised session step on one member; same crash containment
+    /// as the single-array loop, except only the crashed member's array is
+    /// rebuilt — the rest of the gang keeps its residency.
+    fn run_session(&mut self, member: usize, mut session: Session) {
+        let seed = self.seed;
+        let worker = &mut self.members[member];
+        let before = worker.array().stats();
+        let stepped = catch_unwind(AssertUnwindSafe(|| session.step(worker)));
+        credit_array_activity(
+            &seed.metrics,
+            &mut self.busy[member],
+            before,
+            self.members[member].array().stats(),
+        );
+        match stepped {
+            Ok(()) => Metrics::incr(&seed.metrics.jobs_run),
+            Err(_) => {
+                let lost = self.members[member].array_mut().take_injected_faults();
+                Metrics::add(&seed.metrics.faults_detected, 1 + lost);
+                Metrics::add(&seed.metrics.recoveries, lost);
+                Metrics::incr(&seed.metrics.worker_restarts);
+                self.members[member] = seed.fresh_worker();
+                session.record_crash();
+            }
+        }
+        let _ = seed.results.send(session);
+    }
+}
+
+/// The batching dispatcher: one thread owning the whole gang, so rounds
+/// are deterministic (the chaos suite's reproducibility holds for gangs
+/// too) and every member's residency is introspectable without locks.
+fn gang_loop(rx: Receiver<Session>, seed: WorkerSeed) {
+    let mut gang = Gang::new(&seed);
+    let mut heap: BinaryHeap<QueuedSession> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut open = true;
+    loop {
+        seed.pause.wait_ready();
+        drain_queue(&rx, &seed, &mut heap, &mut seq, &mut open);
+        if heap.is_empty() {
+            if !open {
+                return; // queue closed and drained: clean exit
+            }
+            recv_one(&rx, &seed, &mut heap, &mut seq, &mut open);
+            continue;
+        }
+        // One dispatch round: everything queued right now, in EDF order.
+        let mut window = Vec::with_capacity(heap.len());
+        while let Some(queued) = heap.pop() {
+            window.push(queued.session);
+        }
+        for (key, batch) in form_batches(window) {
+            gang.run_batch(key, batch);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::SessionState;
     use sdr_ofdm::xpp_map::OfdmKernel;
     use sdr_wcdma::xpp_map::WcdmaKernel;
 
@@ -722,6 +1042,30 @@ mod tests {
         assert_eq!(metrics.snapshot().reconfigurations, 2);
         assert_eq!(w.store().misses(), 2, "each kernel compiled exactly once");
         assert_eq!(w.store().hits(), 1, "re-activation served from the store");
+    }
+
+    #[test]
+    fn retained_swap_keeps_both_kernels_resident() {
+        let metrics = Arc::new(Metrics::new());
+        let mut w = WorkerArray::new(4, Arc::clone(&metrics));
+        w.set_retain_swap_source(true);
+        w.activate(OfdmKernel::PreambleDetector).unwrap();
+        w.swap(OfdmKernel::PreambleDetector, OfdmKernel::Demodulator)
+            .unwrap();
+        assert!(w.is_resident("fig10-config2a-detector"));
+        assert!(w.is_resident("fig10-config2b-demodulator"));
+        assert_eq!(
+            metrics.snapshot().reconfigurations,
+            0,
+            "retained swap unloads nothing"
+        );
+        // The second OFDM session on this member activates both kernels
+        // for free — no further bus words.
+        let words = metrics.snapshot().config_bus_cycles;
+        w.activate(OfdmKernel::PreambleDetector).unwrap();
+        w.swap(OfdmKernel::PreambleDetector, OfdmKernel::Demodulator)
+            .unwrap();
+        assert_eq!(metrics.snapshot().config_bus_cycles, words);
     }
 
     #[test]
@@ -769,5 +1113,175 @@ mod tests {
         w2.activate(WcdmaKernel::Descrambler).unwrap();
         assert_eq!(store.misses(), 1, "second worker reused the compile");
         assert_eq!(store.hits(), 1);
+    }
+
+    /// An EDF-ordered window of mixed sessions: OFDM sessions stepped to
+    /// `PreambleDetect` (earlier deadlines) interleaved with W-CDMA
+    /// sessions stepped to `Tracking`.
+    fn mixed_window(worker: &mut WorkerArray) -> Vec<Session> {
+        let mut window: Vec<Session> = Vec::new();
+        for id in 0..4 {
+            let mut s = Session::ofdm(id, 7 + id);
+            s.step(worker); // Idle → PreambleDetect
+            window.push(s);
+        }
+        for id in 4..6 {
+            let mut s = Session::wcdma(id, 42 + id);
+            s.step(worker); // Idle → Searching
+            s.step(worker); // Searching → Tracking
+            window.push(s);
+        }
+        window.sort_by_key(|s| s.deadline());
+        window
+    }
+
+    #[test]
+    fn form_batches_groups_by_kernel_and_preserves_edf_order() {
+        let metrics = Arc::new(Metrics::new());
+        let mut worker = WorkerArray::new(8, metrics);
+        let window = mixed_window(&mut worker);
+        let window_order: Vec<u64> = window.iter().map(Session::id).collect();
+
+        let batches = form_batches(window);
+        assert_eq!(batches.len(), 2, "one batch per distinct kernel");
+        // Batches are ordered by their most urgent member: the OFDM
+        // detector sessions have much earlier deadlines than the W-CDMA
+        // trackers.
+        assert_eq!(
+            batches[0].0,
+            Some(KernelSpec::Ofdm(OfdmKernel::PreambleDetector))
+        );
+        assert_eq!(
+            batches[1].0,
+            Some(KernelSpec::Wcdma(WcdmaKernel::Descrambler))
+        );
+        assert_eq!(batches[0].1.len(), 4);
+        assert_eq!(batches[1].1.len(), 2);
+        // EDF within each batch: deadlines are non-decreasing.
+        for (_, batch) in &batches {
+            let deadlines: Vec<u64> = batch.iter().map(Session::deadline).collect();
+            assert!(deadlines.windows(2).all(|w| w[0] <= w[1]), "EDF violated");
+        }
+        // Bounded inversion: the concatenated batches are a permutation of
+        // the window in which each batch is a *subsequence* of the EDF
+        // order — no session ever runs after a later arrival.
+        let flat: Vec<u64> = batches
+            .iter()
+            .flat_map(|(_, b)| b.iter().map(Session::id))
+            .collect();
+        let mut sorted_flat = flat.clone();
+        sorted_flat.sort_unstable();
+        let mut sorted_window = window_order.clone();
+        sorted_window.sort_unstable();
+        assert_eq!(sorted_flat, sorted_window, "no session lost or invented");
+        for (_, batch) in &batches {
+            let positions: Vec<usize> = batch
+                .iter()
+                .map(|s| window_order.iter().position(|&id| id == s.id()).unwrap())
+                .collect();
+            assert!(
+                positions.windows(2).all(|w| w[0] < w[1]),
+                "batch must be a subsequence of the EDF window"
+            );
+        }
+    }
+
+    /// End-to-end gang dispatch: a paused shard accumulates a full wave,
+    /// the resumed dispatcher batches it, and a kernel batch that repeats
+    /// in a later wave (a second staggered cohort reaching the same
+    /// pipeline stage) hits the member where the kernel stayed resident.
+    #[test]
+    fn gang_batches_waves_and_hits_warm_arrays() {
+        let metrics = Arc::new(Metrics::new());
+        let pool = ShardPool::new(
+            PoolConfig {
+                shards: 1,
+                arrays_per_shard: 4,
+                queue_depth: 32,
+                start_paused: true,
+                ..PoolConfig::default()
+            },
+            Arc::clone(&metrics),
+        );
+        let n = 12u64;
+        // Cohort A (8 sessions) arrives a wave ahead of cohort B (4), so
+        // wave 3 runs A's demodulation alongside B's preamble detection —
+        // the detector loaded for A in wave 2 serves B warm.
+        let mut arrivals: Vec<Vec<Session>> = vec![
+            (8..n).map(|id| Session::ofdm(id, 0x0FD + id)).collect(),
+            (0..8).map(|id| Session::ofdm(id, 0x0FD + id)).collect(),
+        ];
+        let mut pending: Vec<Session> = Vec::new();
+        let mut done = 0u64;
+        while done < n {
+            pending.extend(arrivals.pop().unwrap_or_default());
+            // Submit the whole wave while paused so one dispatch round
+            // sees it all, then run it.
+            let in_flight = pending.len();
+            for s in pending.drain(..) {
+                pool.submit(s).expect("queue has room");
+            }
+            pool.resume(0);
+            for _ in 0..in_flight {
+                let s = pool.recv().expect("worker alive");
+                assert!(
+                    !matches!(s.state(), SessionState::Failed(_)),
+                    "session {} failed: {:?}",
+                    s.id(),
+                    s.state()
+                );
+                if s.is_terminal() {
+                    done += 1;
+                } else {
+                    pending.push(s);
+                }
+            }
+            pool.pause(0);
+        }
+
+        let snap = metrics.snapshot();
+        assert_eq!(snap.jobs_run, 3 * n, "3 steps finish an OFDM session");
+        assert_eq!(snap.batch_sessions, 3 * n, "every job went through a batch");
+        assert!(
+            snap.avg_batch_size() > 4.0,
+            "waves must batch: {} batches for {} jobs",
+            snap.batches_dispatched,
+            snap.batch_sessions
+        );
+        assert!(snap.batch_warm_hits >= 1, "no batch hit a warm array");
+        assert!(snap.array_cycles_run > 0);
+        assert!(
+            snap.array_makespan_cycles <= snap.array_cycles_run,
+            "makespan is one member's share of the total"
+        );
+        assert!(
+            snap.config_words_streamed > 0,
+            "per-array bus word counters must flow into metrics"
+        );
+        drop(pool);
+    }
+
+    /// `arrays_per_shard: 1` must keep the seed dispatch path: no batch
+    /// counters move.
+    #[test]
+    fn single_array_shard_never_batches() {
+        let metrics = Arc::new(Metrics::new());
+        let pool = ShardPool::new(
+            PoolConfig {
+                shards: 1,
+                ..PoolConfig::default()
+            },
+            Arc::clone(&metrics),
+        );
+        let mut s = Session::wcdma(0, 1);
+        for _ in 0..3 {
+            pool.submit(s).expect("queue has room");
+            s = pool.recv().expect("worker alive");
+        }
+        assert!(s.is_terminal());
+        let snap = metrics.snapshot();
+        assert_eq!(snap.batches_dispatched, 0);
+        assert_eq!(snap.batch_sessions, 0);
+        drop(pool);
     }
 }

@@ -23,6 +23,7 @@ use sdr_ofdm as ofdm;
 use sdr_wcdma as wcdma;
 use xpp_array::{Result as XppResult, Word};
 
+use crate::config_manager::KernelSpec;
 use crate::metrics::{KernelKind, Metrics};
 use crate::pool::WorkerArray;
 use ofdm::xpp_map::OfdmKernel;
@@ -167,6 +168,24 @@ impl Session {
     /// worker-heap EDF key.
     pub fn deadline(&self) -> u64 {
         self.deadline
+    }
+
+    /// The array kernel the session's *next* step will activate — the
+    /// batching dispatcher's grouping key. `None` for steps that never
+    /// touch the array (capture, DSP-side path search) and for terminal
+    /// sessions; those steps can run on any gang member without costing
+    /// configuration-bus traffic.
+    pub fn next_kernel(&self) -> Option<KernelSpec> {
+        match (&self.kind, &self.state) {
+            (Kind::Wcdma(_), SessionState::Tracking) => {
+                Some(KernelSpec::Wcdma(WcdmaKernel::Descrambler))
+            }
+            (Kind::Ofdm(_), SessionState::PreambleDetect) => {
+                Some(KernelSpec::Ofdm(OfdmKernel::PreambleDetector))
+            }
+            (Kind::Ofdm(_), SessionState::Demod) => Some(KernelSpec::Ofdm(OfdmKernel::Demodulator)),
+            _ => None,
+        }
     }
 
     /// The session as an admission-control job for
@@ -659,6 +678,35 @@ mod tests {
         assert_eq!(snap.reconfigurations, 1, "the 2a→2b swap happened");
         assert!(snap.kernel_jobs[KernelKind::PreambleDetector.index()] == 1);
         assert!(snap.kernel_jobs[KernelKind::Demodulator.index()] == 1);
+    }
+
+    #[test]
+    fn next_kernel_tracks_the_state_machine() {
+        let metrics = Arc::new(Metrics::new());
+        let mut worker = WorkerArray::new(8, metrics);
+        let mut s = Session::ofdm(2, 7);
+        assert_eq!(s.next_kernel(), None, "capture needs no array");
+        s.step(&mut worker);
+        assert_eq!(
+            s.next_kernel(),
+            Some(KernelSpec::Ofdm(OfdmKernel::PreambleDetector))
+        );
+        s.step(&mut worker);
+        assert_eq!(
+            s.next_kernel(),
+            Some(KernelSpec::Ofdm(OfdmKernel::Demodulator))
+        );
+        s.step(&mut worker);
+        assert_eq!(s.next_kernel(), None, "terminal sessions have no kernel");
+
+        let mut w = Session::wcdma(3, 42);
+        w.step(&mut worker); // capture
+        assert_eq!(w.next_kernel(), None, "path search is DSP-side");
+        w.step(&mut worker); // search
+        assert_eq!(
+            w.next_kernel(),
+            Some(KernelSpec::Wcdma(WcdmaKernel::Descrambler))
+        );
     }
 
     #[test]

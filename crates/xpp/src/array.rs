@@ -1028,10 +1028,15 @@ impl Array {
             return false;
         };
         self.stats.config_cycles += 1;
+        // One word crosses the bus per busy cycle while a load is in flight;
+        // both steppers share this helper so the counter stays bit-identical
+        // between event-driven and reference runs.
+        let mut config_words_streamed = 0;
         let mut finished = false;
         let cfg = self.configs.get_mut(&front).expect("queued config exists");
         if let ConfigState::Loading { remaining } = &mut cfg.state {
             *remaining = remaining.saturating_sub(1);
+            config_words_streamed = 1;
             let left = *remaining;
             // An aborted load drops off the bus halfway through its window;
             // a corrupted one consumes the full window but ends Faulted
@@ -1042,11 +1047,13 @@ impl Array {
                 if cfg.fault == Some(FaultKind::AbortLoad) && left <= cfg.fault_at {
                     cfg.state = ConfigState::Faulted(FaultKind::AbortLoad);
                     self.load_queue.pop_front();
+                    self.stats.config_words += 1;
                     return true;
                 }
                 if cfg.fault == Some(FaultKind::CorruptConfig) && left == 0 {
                     cfg.state = ConfigState::Faulted(FaultKind::CorruptConfig);
                     self.load_queue.pop_front();
+                    self.stats.config_words += 1;
                     return true;
                 }
             }
@@ -1055,6 +1062,7 @@ impl Array {
                 finished = true;
             }
         }
+        self.stats.config_words += config_words_streamed;
         if finished {
             self.stats.configs_loaded += 1;
             self.load_queue.pop_front();

@@ -26,6 +26,11 @@ pub struct ArrayStats {
     pub event_fires: u64,
     /// Cycles the configuration bus spent loading.
     pub config_cycles: u64,
+    /// Configuration words streamed over the bus (one word per busy bus
+    /// cycle; kept separate from `config_cycles` so bus *occupancy* and
+    /// bus *traffic* stay individually observable per array — the
+    /// engine's batched dispatch reports words-per-session from this).
+    pub config_words: u64,
     /// Configurations loaded to completion.
     pub configs_loaded: u64,
 }
@@ -70,6 +75,7 @@ impl ArrayStats {
             io_words: self.io_words - earlier.io_words,
             event_fires: self.event_fires - earlier.event_fires,
             config_cycles: self.config_cycles - earlier.config_cycles,
+            config_words: self.config_words - earlier.config_words,
             configs_loaded: self.configs_loaded - earlier.configs_loaded,
         }
     }
@@ -92,6 +98,7 @@ mod tests {
             io_words: 2,
             event_fires: 2,
             config_cycles: 7,
+            config_words: 7,
             configs_loaded: 1,
         };
         assert_eq!(s.total_fires(), 20);
@@ -108,15 +115,18 @@ mod tests {
         let a = ArrayStats {
             cycles: 5,
             alu_fires: 2,
+            config_words: 3,
             ..Default::default()
         };
         let b = ArrayStats {
             cycles: 9,
             alu_fires: 7,
+            config_words: 10,
             ..Default::default()
         };
         let d = b.delta_since(&a);
         assert_eq!(d.cycles, 4);
         assert_eq!(d.alu_fires, 5);
+        assert_eq!(d.config_words, 7);
     }
 }

@@ -1,14 +1,18 @@
 //! Base-station style multi-terminal run: N concurrent terminal sessions
 //! (alternating W-CDMA rake and 802.11a OFDM) time-sliced over M worker
-//! shards, each shard owning one simulated XPP array.
+//! shards, each shard owning a gang of one or more simulated XPP arrays.
 //!
 //! Every OFDM terminal exercises the paper's Fig. 10 runtime
 //! reconfiguration (detector out, demodulator in) and every W-CDMA
 //! terminal runs its descrambler/despreader on cached configurations, so
 //! the final metrics show nonzero reconfiguration and cache-hit counts.
+//! With more than one array per shard the batching dispatcher groups
+//! each round's sessions by kernel and runs the groups on warm members —
+//! the `batching` and `arrays` metric lines show it working.
 //!
-//! Usage: `cargo run --release --example basestation [sessions] [shards]`
-//! (defaults: 64 sessions, 4 shards).
+//! Usage:
+//! `cargo run --release --example basestation [sessions] [shards] [arrays-per-shard]`
+//! (defaults: 64 sessions, 4 shards, 1 array per shard).
 
 use xpp_sdr::engine::{Engine, EngineConfig, Session, SessionState};
 
@@ -22,10 +26,18 @@ fn main() {
         .next()
         .map(|a| a.parse().expect("shards must be a number"))
         .unwrap_or(4);
+    let arrays_per_shard: usize = args
+        .next()
+        .map(|a| a.parse().expect("arrays-per-shard must be a number"))
+        .unwrap_or(1);
 
-    println!("basestation: {sessions} terminal sessions over {shards} shards");
+    println!(
+        "basestation: {sessions} terminal sessions over {shards} shards \
+         x {arrays_per_shard} arrays"
+    );
     let mut engine = Engine::new(EngineConfig {
         shards,
+        arrays_per_shard,
         ..EngineConfig::default()
     });
 
