@@ -1,0 +1,695 @@
+//! Async session front-end: park a million terminals over a bounded
+//! worker set.
+//!
+//! [`Engine::run`](crate::Engine::run) blocks a submitter on the pool
+//! whenever a shard queue fills, so resident-session count is bounded by
+//! threads. This module replaces that with a control plane that never
+//! blocks on submission:
+//!
+//! * [`executor`] — a hand-rolled minimal async executor (no deps): one
+//!   task per *materialised* session, `HashMap` task table, a shared
+//!   ready-queue, and a `Send + Sync` [`std::task::Wake`] handle that
+//!   carries only a task id;
+//! * [`reactor`] — the bounded completion reactor bridging tasks and the
+//!   [`ShardPool`]: submission yields a `StepFuture` or hands the
+//!   session back on `WouldBlock`, and the driver thread drains pool
+//!   completions into per-session slots, firing wakers;
+//! * [`parking`] — the idle-session parking lot: a deadline-ordered heap
+//!   of compact [`ParkedSession`] records (~a few dozen bytes each; no
+//!   sample buffers), preallocatable so parking is allocation-free.
+//!
+//! A terminal's life cycle: **admitted** as a parked record →
+//! **materialised** (rehydrated into a full `Session`, spawned as an
+//! async task) when capacity allows → stepped through its pipeline via
+//! `StepFuture.await` → on `WouldBlock` **re-parked** with a deferred
+//! deadline instead of blocking → **completed** (and, closed-loop, its
+//! next frame re-admitted). Millions of terminals can be resident while
+//! only `shards × arrays_per_shard` plus the small materialisation
+//! window ever own sample buffers.
+//!
+//! # Deterministic admission model
+//!
+//! Real thread scheduling is nondeterministic, so deadline slack and
+//! shedding are computed against a *virtual-time queueing model*: one
+//! virtual server per array, charged `3 × job_cycles` of modeled service
+//! per frame at materialisation, least-loaded-server routing. The model
+//! is a pure function of the admission sequence, so a seeded open-loop
+//! run reports bit-identical slack/shed statistics across executions
+//! while the real pool still executes every admitted frame. The *kernel
+//! outcomes* (Done/Failed and every DSP bit) are exact, not modeled.
+
+pub mod executor;
+pub mod parking;
+pub mod reactor;
+
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::metrics::{Metrics, Snapshot};
+use crate::pool::{PoolConfig, RecoveryPolicy, ShardPool};
+use crate::session::{
+    ParkedSession, Session, SessionState, Standard, OFDM_JOB_CYCLES, WCDMA_JOB_CYCLES,
+};
+
+use executor::MiniExecutor;
+use parking::ParkingLot;
+use reactor::CompletionReactor;
+
+/// Pipeline steps per session (capture → detect/search → demod/track).
+const STEPS_PER_SESSION: u64 = 3;
+
+/// Modeled service demand of one full W-CDMA frame in array cycles.
+pub const WCDMA_SERVICE_CYCLES: u64 = STEPS_PER_SESSION * WCDMA_JOB_CYCLES;
+/// Modeled service demand of one full OFDM frame in array cycles.
+pub const OFDM_SERVICE_CYCLES: u64 = STEPS_PER_SESSION * OFDM_JOB_CYCLES;
+
+fn service_cycles(standard: Standard) -> u64 {
+    match standard {
+        Standard::Wcdma => WCDMA_SERVICE_CYCLES,
+        Standard::Ofdm => OFDM_SERVICE_CYCLES,
+    }
+}
+
+/// Front-end sizing and policy.
+#[derive(Debug, Clone)]
+pub struct FrontendConfig {
+    /// Worker shards (one array gang each).
+    pub shards: usize,
+    /// Arrays per shard gang.
+    pub arrays_per_shard: usize,
+    /// Bounded per-shard queue depth.
+    pub queue_depth: usize,
+    /// Compiled configurations the process-wide store may hold.
+    pub cache_capacity: usize,
+    /// Materialisation window: maximum concurrently *rehydrated*
+    /// sessions (live async tasks). Everything beyond this stays parked.
+    /// Keep at or below `shards × queue_depth` so the reactor bound
+    /// never starves the window.
+    pub max_resident: usize,
+    /// Parking-lot slots to preallocate (parking within this budget is
+    /// allocation-free). `0` grows on demand.
+    pub parking_capacity: usize,
+    /// A fresh frame whose modeled completion would run later than
+    /// `deadline + shed_lateness_cycles` is shed at admission instead of
+    /// being materialised.
+    pub shed_lateness_cycles: u64,
+    /// How far a `WouldBlock` bounce defers the parked deadline.
+    pub defer_cycles: u64,
+    /// Supervision tuning (crash retry budget, watchdog grant).
+    pub recovery: RecoveryPolicy,
+    /// Start worker shards paused (tests exercise backpressure this way).
+    pub start_paused: bool,
+}
+
+impl Default for FrontendConfig {
+    fn default() -> Self {
+        let p = PoolConfig::default();
+        FrontendConfig {
+            shards: p.shards,
+            arrays_per_shard: p.arrays_per_shard,
+            queue_depth: p.queue_depth,
+            cache_capacity: p.cache_capacity,
+            max_resident: 64,
+            parking_capacity: 0,
+            shed_lateness_cycles: 2 * crate::session::WCDMA_PERIOD_CYCLES,
+            defer_cycles: 1_000,
+            recovery: p.recovery,
+            start_paused: false,
+        }
+    }
+}
+
+/// What a finished front-end task reports back to the driver.
+enum TaskOutcome {
+    /// The session reached a terminal state.
+    Completed(Session),
+    /// The session bounced off a full shard queue and was re-parked
+    /// (deadline deferred) — no thread blocked.
+    Reparked(ParkedSession),
+}
+
+/// What one [`Frontend::run`] call produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleSummary {
+    /// Frames that reached a terminal state.
+    pub frames_completed: u64,
+    /// Frames that ended `Done`.
+    pub done: u64,
+    /// Frames that ended `Failed`.
+    pub failed: u64,
+    /// Frames dead-lettered after exhausting crash retries.
+    pub dead_lettered: u64,
+    /// Ids of frames shed at admission (modeled completion hopelessly
+    /// late), in admission order.
+    pub shed: Vec<u64>,
+    /// Modeled deadline slack (deadline − modeled completion, array
+    /// cycles; negative = late) per admitted fresh frame, in admission
+    /// order.
+    pub slack_cycles: Vec<i64>,
+    /// High-water mark of concurrently parked records.
+    pub peak_parked: u64,
+    /// High-water mark of resident terminals (parked + materialised).
+    pub peak_resident: u64,
+    /// Records still parked when the run stopped early (completion
+    /// limit); `0` when the lot drained.
+    pub still_parked: u64,
+    /// Metrics snapshot at the end of the run.
+    pub snapshot: Snapshot,
+}
+
+impl ScaleSummary {
+    /// Frames admitted to the model (fresh materialisations + sheds).
+    pub fn offered(&self) -> u64 {
+        self.slack_cycles.len() as u64 + self.shed.len() as u64
+    }
+
+    /// Fraction of offered frames shed at admission.
+    pub fn shed_rate(&self) -> f64 {
+        let offered = self.offered();
+        if offered == 0 {
+            0.0
+        } else {
+            self.shed.len() as f64 / offered as f64
+        }
+    }
+
+    /// The slack that 99 % of admitted frames meet or beat (the
+    /// 1st-percentile slack, ascending). `None` until a frame is
+    /// admitted.
+    pub fn p99_slack(&self) -> Option<i64> {
+        percentile_low(&self.slack_cycles, 0.01)
+    }
+
+    /// The worst (minimum) modeled slack.
+    pub fn min_slack(&self) -> Option<i64> {
+        self.slack_cycles.iter().copied().min()
+    }
+}
+
+fn percentile_low(values: &[i64], q: f64) -> Option<i64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let idx = ((sorted.len() - 1) as f64 * q).floor() as usize;
+    Some(sorted[idx])
+}
+
+/// The async session front-end. Single driver thread; see the module
+/// docs for the life cycle.
+pub struct Frontend {
+    reactor: Rc<CompletionReactor>,
+    executor: MiniExecutor<TaskOutcome>,
+    lot: ParkingLot,
+    metrics: Arc<Metrics>,
+    // Virtual-time queueing model: one entry per array, the cycle at
+    // which that virtual server frees up.
+    free_at: Vec<u64>,
+    vnow: u64,
+    // Modeled completion cycle per in-progress frame (terminal id →
+    // virtual completion); survives backpressure re-parks.
+    vcomp: HashMap<u64, u64>,
+    max_resident: usize,
+    shed_lateness_cycles: u64,
+    defer_cycles: u64,
+    recovery: RecoveryPolicy,
+    // Summary accumulators.
+    frames_completed: u64,
+    done: u64,
+    failed: u64,
+    dead_lettered: u64,
+    shed: Vec<u64>,
+    slack_cycles: Vec<i64>,
+    peak_resident: u64,
+}
+
+/// Closed-loop workload hook: called with each completed frame and its
+/// modeled completion cycle; return the terminal's next frame as a
+/// parked record to re-admit it, or `None` to let the terminal leave.
+pub trait Workload: FnMut(&Session, u64) -> Option<ParkedSession> {}
+impl<F: FnMut(&Session, u64) -> Option<ParkedSession>> Workload for F {}
+
+impl Frontend {
+    /// Spawns the worker pool and an empty front-end.
+    pub fn new(config: FrontendConfig) -> Self {
+        Frontend::with_metrics(config, Arc::new(Metrics::new()))
+    }
+
+    /// As [`Frontend::new`] with a caller-supplied metrics registry.
+    pub fn with_metrics(config: FrontendConfig, metrics: Arc<Metrics>) -> Self {
+        let pool = ShardPool::new(
+            PoolConfig {
+                shards: config.shards,
+                arrays_per_shard: config.arrays_per_shard,
+                queue_depth: config.queue_depth,
+                cache_capacity: config.cache_capacity,
+                replicate_after_cycles: PoolConfig::default().replicate_after_cycles,
+                start_paused: config.start_paused,
+                recovery: config.recovery,
+                #[cfg(feature = "faults")]
+                fault_plan: None,
+            },
+            Arc::clone(&metrics),
+        );
+        let workers = config.shards.max(1) * config.arrays_per_shard.max(1);
+        Frontend {
+            reactor: Rc::new(CompletionReactor::new(pool)),
+            executor: MiniExecutor::new(),
+            lot: ParkingLot::with_capacity(config.parking_capacity),
+            metrics,
+            free_at: vec![0; workers],
+            vnow: 0,
+            vcomp: HashMap::new(),
+            max_resident: config.max_resident.max(1),
+            shed_lateness_cycles: config.shed_lateness_cycles,
+            defer_cycles: config.defer_cycles,
+            recovery: config.recovery,
+            frames_completed: 0,
+            done: 0,
+            failed: 0,
+            dead_lettered: 0,
+            shed: Vec::new(),
+            slack_cycles: Vec::new(),
+            peak_resident: 0,
+        }
+    }
+
+    /// The shared metrics registry.
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// A point-in-time metrics snapshot.
+    pub fn snapshot(&self) -> Snapshot {
+        self.metrics.snapshot()
+    }
+
+    /// The underlying pool (pause/resume, depth probes).
+    pub fn pool(&self) -> &ShardPool {
+        self.reactor.pool()
+    }
+
+    /// Admits a terminal's frame as a parked record. O(log n), and
+    /// allocation-free within the preallocated parking capacity.
+    pub fn admit(&mut self, record: ParkedSession) {
+        Metrics::incr(&self.metrics.sessions_started);
+        self.lot.park(record);
+        self.update_gauges();
+    }
+
+    /// Currently parked records.
+    pub fn parked(&self) -> usize {
+        self.lot.len()
+    }
+
+    /// Materialised sessions (live async tasks).
+    pub fn materialised(&self) -> usize {
+        self.executor.live()
+    }
+
+    /// Resident terminals: parked + materialised.
+    pub fn resident(&self) -> usize {
+        self.lot.len() + self.executor.live()
+    }
+
+    /// Parking-lot heap bytes per parked record; `None` while empty.
+    pub fn bytes_per_parked(&self) -> Option<f64> {
+        self.lot.bytes_per_parked()
+    }
+
+    /// One non-blocking driver iteration: poll ready tasks, fold their
+    /// outcomes (re-parks, completions, closed-loop re-admissions),
+    /// materialise parked records into free resident slots, and drain
+    /// pool completions. Returns the amount of progress made (0 = fully
+    /// stalled; block via the pool or call again after external action).
+    pub fn pump(&mut self, workload: &mut impl Workload) -> usize {
+        let mut progress = 0;
+        progress += self.executor.run_until_stalled();
+        progress += self.handle_outcomes(workload);
+        progress += self.materialise();
+        // Submit the freshly materialised tasks straight away.
+        progress += self.executor.run_until_stalled();
+        progress += self.handle_outcomes(workload);
+        progress += self.reactor.drain();
+        self.update_gauges();
+        progress
+    }
+
+    /// Runs until every resident terminal is gone (open loop: admit
+    /// first, then call with a workload returning `None`).
+    pub fn run(&mut self, workload: &mut impl Workload) -> ScaleSummary {
+        self.run_limited(u64::MAX, workload)
+    }
+
+    /// As [`Frontend::run`] but stops once `limit` frames have
+    /// completed, leaving the rest parked ([`ScaleSummary::still_parked`]
+    /// reports how many). This is how the scale bench holds a million
+    /// terminals resident while processing a bounded sample of them.
+    pub fn run_limited(&mut self, limit: u64, workload: &mut impl Workload) -> ScaleSummary {
+        loop {
+            let progress = self.pump(workload);
+            if self.frames_completed >= limit {
+                self.drain_in_flight(workload);
+                break;
+            }
+            if self.executor.live() == 0 && self.lot.is_empty() {
+                break;
+            }
+            if progress == 0 {
+                if self.reactor.in_flight() > 0 {
+                    // Block (bounded) for a pool completion: the only
+                    // thing that can unstick a fully submitted window.
+                    self.reactor.wait_drain(Duration::from_millis(50));
+                } else {
+                    // All residents bounced (e.g. paused pool): nothing
+                    // in flight, avoid a hot spin.
+                    std::thread::yield_now();
+                }
+            }
+        }
+        self.take_summary()
+    }
+
+    /// Finishes the already-materialised window after an early stop:
+    /// each live task runs to a terminal state or bounces back into the
+    /// lot, so nothing is left half-stepped.
+    fn drain_in_flight(&mut self, workload: &mut impl Workload) {
+        while self.executor.live() > 0 {
+            if self.reactor.drain() == 0
+                && self.reactor.in_flight() > 0
+                && self.reactor.wait_drain(Duration::from_millis(50)) == 0
+            {
+                continue;
+            }
+            self.executor.run_until_stalled();
+            self.handle_outcomes(workload);
+        }
+        self.update_gauges();
+    }
+
+    fn handle_outcomes(&mut self, workload: &mut impl Workload) -> usize {
+        let outcomes = self.executor.take_finished();
+        let n = outcomes.len();
+        for outcome in outcomes {
+            match outcome {
+                TaskOutcome::Reparked(record) => {
+                    self.lot.park(record);
+                    Metrics::incr(&self.metrics.backpressure_parks);
+                }
+                TaskOutcome::Completed(session) => {
+                    self.frames_completed += 1;
+                    match session.state() {
+                        SessionState::Done => self.done += 1,
+                        SessionState::Failed(_) => self.failed += 1,
+                        SessionState::DeadLettered(_) => self.dead_lettered += 1,
+                        _ => {}
+                    }
+                    let completed_at = self
+                        .vcomp
+                        .remove(&session.id())
+                        .unwrap_or_else(|| session.deadline());
+                    if let Some(next) = workload(&session, completed_at) {
+                        self.admit(next);
+                    }
+                }
+            }
+        }
+        n
+    }
+
+    /// Rehydrates earliest-deadline parked records into the free part of
+    /// the materialisation window, charging the virtual-time model (and
+    /// shedding hopeless frames) for fresh ones.
+    fn materialise(&mut self) -> usize {
+        let mut progress = 0;
+        while self.executor.live() < self.max_resident {
+            let Some(record) = self.lot.pop_earliest() else {
+                break;
+            };
+            if record.is_fresh() {
+                let arrival = record.arrival();
+                self.vnow = self.vnow.max(arrival);
+                // Least-loaded virtual server (deterministic argmin).
+                let (server, free) = self
+                    .free_at
+                    .iter()
+                    .copied()
+                    .enumerate()
+                    .min_by_key(|&(i, f)| (f, i))
+                    .unwrap_or((0, 0));
+                let start = free.max(arrival);
+                let completes = start + service_cycles(record.standard());
+                let lateness = completes.saturating_sub(record.deadline());
+                if lateness > self.shed_lateness_cycles {
+                    Metrics::incr(&self.metrics.sessions_shed);
+                    self.shed.push(record.id());
+                    progress += 1;
+                    continue;
+                }
+                self.free_at[server] = completes;
+                self.slack_cycles
+                    .push(record.deadline() as i64 - completes as i64);
+                self.vcomp.insert(record.id(), completes);
+            }
+            let session = Session::rehydrate(&record);
+            Metrics::incr(&self.metrics.rehydrations);
+            self.spawn_drive(session);
+            progress += 1;
+        }
+        progress
+    }
+
+    fn spawn_drive(&mut self, session: Session) {
+        let reactor = Rc::clone(&self.reactor);
+        let metrics = Arc::clone(&self.metrics);
+        let defer_cycles = self.defer_cycles;
+        let max_attempts = self.recovery.max_session_attempts;
+        self.executor
+            .spawn(drive(reactor, metrics, defer_cycles, max_attempts, session));
+    }
+
+    fn update_gauges(&mut self) {
+        let parked = self.lot.len() as u64;
+        let resident = parked + self.executor.live() as u64;
+        self.peak_resident = self.peak_resident.max(resident);
+        Metrics::set(&self.metrics.sessions_parked, parked);
+        Metrics::raise_to(&self.metrics.peak_resident_sessions, resident);
+    }
+
+    fn take_summary(&mut self) -> ScaleSummary {
+        self.update_gauges();
+        ScaleSummary {
+            frames_completed: self.frames_completed,
+            done: self.done,
+            failed: self.failed,
+            dead_lettered: self.dead_lettered,
+            shed: std::mem::take(&mut self.shed),
+            slack_cycles: std::mem::take(&mut self.slack_cycles),
+            peak_parked: self.lot.peak() as u64,
+            peak_resident: self.peak_resident,
+            still_parked: self.lot.len() as u64,
+            snapshot: self.metrics.snapshot(),
+        }
+    }
+
+    /// Shuts the worker pool down. Live tasks (and their step futures)
+    /// are dropped first so the reactor's `Rc` is unique; any sessions
+    /// the pool still held are returned.
+    pub fn shutdown(mut self) -> Vec<Session> {
+        self.executor = MiniExecutor::new();
+        match Rc::try_unwrap(self.reactor) {
+            Ok(reactor) => reactor.into_pool().shutdown(),
+            // Unreachable: dropping the executor dropped every clone.
+            Err(_) => Vec::new(),
+        }
+    }
+}
+
+/// The per-session async task: step the session until terminal, parking
+/// (never blocking) on backpressure, supervising crash retries.
+async fn drive(
+    reactor: Rc<CompletionReactor>,
+    metrics: Arc<Metrics>,
+    defer_cycles: u64,
+    max_attempts: u32,
+    mut session: Session,
+) -> TaskOutcome {
+    loop {
+        if session.is_terminal() {
+            return TaskOutcome::Completed(session);
+        }
+        match CompletionReactor::submit(&reactor, session) {
+            Ok(step) => {
+                let mut stepped = step.await;
+                if stepped.take_crashed() {
+                    if stepped.attempts() > max_attempts {
+                        stepped.mark_dead_lettered(format!(
+                            "crashed {} times; giving up",
+                            stepped.attempts()
+                        ));
+                        Metrics::incr(&metrics.dead_letters);
+                    } else {
+                        // The shard already restarted with a fresh
+                        // array; re-dispatch (no sleep — the driver is
+                        // single-threaded, backoff is deadline deferral).
+                        Metrics::incr(&metrics.session_retries);
+                        Metrics::incr(&metrics.recoveries);
+                    }
+                }
+                session = stepped;
+            }
+            Err(bounced) => {
+                // Full shard queue: shrink back to a parked record with
+                // a deferred deadline. No thread blocks here.
+                match bounced.park() {
+                    Some(mut record) => {
+                        record.defer(defer_cycles);
+                        return TaskOutcome::Reparked(record);
+                    }
+                    // Terminal sessions never submit; defensive.
+                    None => return TaskOutcome::Completed(bounced),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_followup() -> impl Workload {
+        |_: &Session, _| None
+    }
+
+    #[test]
+    fn open_loop_mixed_standards_all_complete() {
+        let mut fe = Frontend::new(FrontendConfig {
+            shards: 2,
+            queue_depth: 4,
+            max_resident: 8,
+            ..FrontendConfig::default()
+        });
+        for id in 0..10u64 {
+            let rec = if id % 2 == 0 {
+                ParkedSession::new_wcdma(id, 1000 + id, id * 500)
+            } else {
+                ParkedSession::new_ofdm(id, 2000 + id, id * 500)
+            };
+            fe.admit(rec);
+        }
+        assert_eq!(fe.parked(), 10);
+        let summary = fe.run(&mut no_followup());
+        assert_eq!(summary.frames_completed, 10);
+        assert_eq!(summary.done, 10);
+        assert_eq!(summary.still_parked, 0);
+        assert_eq!(summary.slack_cycles.len(), 10);
+        assert!(summary.shed.is_empty());
+        assert_eq!(summary.peak_parked, 10);
+        assert!(summary.peak_resident >= 10);
+        // 10 first materialisations, plus one more per backpressure
+        // bounce (5 sessions share a shard with queue depth 4, so some
+        // bounce, re-park, and rehydrate again).
+        assert_eq!(
+            summary.snapshot.rehydrations,
+            10 + summary.snapshot.backpressure_parks
+        );
+        assert_eq!(summary.snapshot.sessions_completed, 10);
+    }
+
+    #[test]
+    fn closed_loop_readmits_follow_up_frames() {
+        let mut fe = Frontend::new(FrontendConfig::default());
+        for id in 0..4u64 {
+            fe.admit(ParkedSession::new_wcdma(id, 7 + id, 0));
+        }
+        // Each terminal runs 3 frames total.
+        let mut frames_left: HashMap<u64, u32> = (0..4).map(|id| (id, 2)).collect();
+        let mut workload = |done: &Session, completed_at: u64| {
+            let left = frames_left.get_mut(&done.id())?;
+            if *left == 0 {
+                return None;
+            }
+            *left -= 1;
+            Some(ParkedSession::new_wcdma(
+                done.id(),
+                done.id() * 31 + *left as u64,
+                completed_at,
+            ))
+        };
+        let summary = fe.run(&mut workload);
+        assert_eq!(summary.frames_completed, 12, "4 terminals x 3 frames");
+        assert_eq!(summary.done, 12);
+        assert_eq!(summary.snapshot.sessions_started, 12);
+    }
+
+    #[test]
+    fn hopelessly_late_frames_are_shed_by_the_model() {
+        // One virtual server, zero shed margin: the second simultaneous
+        // arrival's modeled completion exceeds its deadline only if the
+        // deadline is tighter than 2x service; W-CDMA periods are roomy,
+        // so drive lateness with a crowd arriving at once.
+        let mut fe = Frontend::new(FrontendConfig {
+            shards: 1,
+            arrays_per_shard: 1,
+            shed_lateness_cycles: 0,
+            ..FrontendConfig::default()
+        });
+        // All frames arrive at cycle 0; server capacity is one frame per
+        // WCDMA_SERVICE_CYCLES. Deadline = 33_333, service = 9_000: the
+        // 4th simultaneous frame completes at 36_000 > deadline -> shed.
+        let n = 6u64;
+        for id in 0..n {
+            fe.admit(ParkedSession::new_wcdma(id, 42 + id, 0));
+        }
+        let summary = fe.run(&mut no_followup());
+        assert_eq!(summary.offered(), n);
+        assert!(
+            !summary.shed.is_empty(),
+            "overload at a single server must shed"
+        );
+        assert_eq!(summary.shed, vec![3, 4, 5], "EDF order sheds the tail");
+        assert_eq!(summary.frames_completed, 3);
+        assert!(summary.shed_rate() > 0.49 && summary.shed_rate() < 0.51);
+        assert_eq!(summary.snapshot.sessions_shed, 3);
+        // Slack deteriorates monotonically for a same-deadline burst.
+        assert!(summary.slack_cycles.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn run_limited_leaves_the_rest_parked() {
+        let mut fe = Frontend::new(FrontendConfig {
+            max_resident: 2,
+            ..FrontendConfig::default()
+        });
+        for id in 0..50u64 {
+            fe.admit(ParkedSession::new_ofdm(id, id, id * 100));
+        }
+        let summary = fe.run_limited(5, &mut no_followup());
+        assert!(summary.frames_completed >= 5);
+        assert!(summary.still_parked > 0);
+        assert_eq!(
+            summary.still_parked + summary.frames_completed,
+            50,
+            "early stop: every terminal is either done or still parked"
+        );
+        assert_eq!(summary.peak_parked, 50);
+    }
+
+    #[test]
+    fn shutdown_returns_cleanly_with_live_tasks() {
+        let mut fe = Frontend::new(FrontendConfig::default());
+        for id in 0..8u64 {
+            fe.admit(ParkedSession::new_wcdma(id, id, 0));
+        }
+        // Materialise + submit some, then tear down mid-flight.
+        fe.pump(&mut no_followup());
+        let leftover = fe.shutdown();
+        // Sessions still inside the pool come back out; parked/live ones
+        // are dropped with the front-end. No panic, no deadlock.
+        assert!(leftover.len() <= 8);
+    }
+}

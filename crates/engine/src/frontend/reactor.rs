@@ -1,0 +1,180 @@
+//! The bounded completion reactor: the bridge between session futures
+//! and the [`ShardPool`].
+//!
+//! Submission goes through [`CompletionReactor::submit`], which either
+//! hands back a [`StepFuture`] (the session is in flight; `.await` it)
+//! or returns the session unharmed when the shard queue is full — the
+//! `WouldBlock` backpressure signal. **No thread ever blocks on a full
+//! queue**; the caller parks the session instead.
+//!
+//! Completions are harvested on the driver thread by
+//! [`CompletionReactor::drain`] (non-blocking) or
+//! [`CompletionReactor::wait_drain`] (bounded block): each stepped
+//! session is deposited into its per-session slot and the owning task's
+//! waker fires, making the task runnable again. In-flight sessions are
+//! bounded by the pool's total queue capacity, so slot storage never
+//! grows with the number of terminals.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+use std::time::Duration;
+
+use crate::metrics::Metrics;
+use crate::pool::ShardPool;
+use crate::session::Session;
+
+/// Per-in-flight-session mailbox: the stepped session once the pool
+/// returns it, and the waker of the task awaiting it.
+#[derive(Default)]
+struct StepSlot {
+    session: Option<Session>,
+    waker: Option<Waker>,
+}
+
+/// Bounded completion reactor over a [`ShardPool`].
+///
+/// Single-threaded by construction (interior mutability is `RefCell`/
+/// `Cell`): futures and the driver share it via `Rc`, and only waker
+/// *handles* — not this type — ever cross threads.
+pub struct CompletionReactor {
+    pool: ShardPool,
+    slots: RefCell<HashMap<u64, StepSlot>>,
+    in_flight: Cell<usize>,
+    capacity: usize,
+}
+
+impl CompletionReactor {
+    /// Wraps a pool; in-flight sessions are capped at the pool's total
+    /// queue capacity.
+    pub fn new(pool: ShardPool) -> Self {
+        let capacity = pool.queue_capacity();
+        CompletionReactor {
+            pool,
+            slots: RefCell::new(HashMap::new()),
+            in_flight: Cell::new(0),
+            capacity,
+        }
+    }
+
+    /// The wrapped pool (pause/resume, metrics, depth probes).
+    pub fn pool(&self) -> &ShardPool {
+        &self.pool
+    }
+
+    /// Sessions currently in flight (submitted, not yet drained).
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.get()
+    }
+
+    /// Submits a session for one pipeline step. `Ok` yields a
+    /// [`StepFuture`] resolving to the stepped session; `Err` hands the
+    /// session back when the reactor is at capacity or the target shard
+    /// queue is full (backpressure — park it, don't block).
+    // The Err side carries the rejected `Session` back to the caller by
+    // design (same contract as `ShardPool::submit`).
+    #[allow(clippy::result_large_err)]
+    pub fn submit(rc: &Rc<Self>, session: Session) -> Result<StepFuture, Session> {
+        if rc.in_flight.get() >= rc.capacity {
+            // Reactor-level bound: counts as a rejected submission even
+            // though the pool was never consulted.
+            Metrics::incr(&rc.pool.metrics().jobs_rejected);
+            return Err(session);
+        }
+        let id = session.id();
+        match rc.pool.submit(session) {
+            Ok(_) => {
+                rc.in_flight.set(rc.in_flight.get() + 1);
+                rc.slots.borrow_mut().insert(id, StepSlot::default());
+                Ok(StepFuture {
+                    reactor: Rc::clone(rc),
+                    id,
+                })
+            }
+            Err(err) => Err(err.into_session()),
+        }
+    }
+
+    /// Drains every already-finished session from the pool without
+    /// blocking; returns how many were deposited (each deposit wakes the
+    /// awaiting task).
+    pub fn drain(&self) -> usize {
+        let mut n = 0;
+        while let Some(session) = self.pool.try_recv() {
+            self.deposit(session);
+            n += 1;
+        }
+        n
+    }
+
+    /// Blocks up to `timeout` for one completion, then drains the rest
+    /// non-blockingly. Returns the number deposited (0 on timeout).
+    pub fn wait_drain(&self, timeout: Duration) -> usize {
+        match self.pool.recv_timeout(timeout) {
+            Some(session) => {
+                self.deposit(session);
+                1 + self.drain()
+            }
+            None => 0,
+        }
+    }
+
+    fn deposit(&self, session: Session) {
+        self.in_flight.set(self.in_flight.get().saturating_sub(1));
+        let mut slots = self.slots.borrow_mut();
+        if let Some(slot) = slots.get_mut(&session.id()) {
+            slot.session = Some(session);
+            if let Some(waker) = slot.waker.take() {
+                waker.wake();
+            }
+        }
+        // A completion nobody awaits (task dropped) is discarded.
+    }
+
+    /// Consumes the reactor, returning the pool for shutdown. Callable
+    /// only once every `StepFuture` clone of the `Rc` is gone.
+    pub fn into_pool(self) -> ShardPool {
+        self.pool
+    }
+}
+
+/// Future for one in-flight pipeline step; resolves to the stepped
+/// [`Session`] once the completion reactor deposits it.
+pub struct StepFuture {
+    reactor: Rc<CompletionReactor>,
+    id: u64,
+}
+
+impl Future for StepFuture {
+    type Output = Session;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Session> {
+        let mut slots = self.reactor.slots.borrow_mut();
+        let Some(slot) = slots.get_mut(&self.id) else {
+            // Slot vanished (future polled after resolution) — stay
+            // pending; the executor only polls on a wake.
+            return Poll::Pending;
+        };
+        match slot.session.take() {
+            Some(session) => {
+                slots.remove(&self.id);
+                Poll::Ready(session)
+            }
+            None => {
+                slot.waker = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+}
+
+impl Drop for StepFuture {
+    fn drop(&mut self) {
+        // A cancelled await must not leak its mailbox. The in-flight
+        // count still decrements when the pool completion drains.
+        self.reactor.slots.borrow_mut().remove(&self.id);
+    }
+}

@@ -44,14 +44,16 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod config_manager;
+pub mod frontend;
 pub mod metrics;
 pub mod pool;
 pub mod session;
 
 pub use config_manager::{CmState, ConfigManager, ConfigStore, KernelSpec};
+pub use frontend::{Frontend, FrontendConfig, ScaleSummary};
 pub use metrics::{KernelKind, Metrics, Snapshot};
 pub use pool::{PoolConfig, RecoveryPolicy, ShardPool, SubmitError, WorkerArray};
-pub use session::{Session, SessionState, Standard};
+pub use session::{ParkedSession, Session, SessionState, Standard};
 
 use std::collections::VecDeque;
 use std::sync::Arc;

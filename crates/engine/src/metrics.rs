@@ -115,6 +115,19 @@ pub struct Metrics {
     pub dead_letters: AtomicU64,
     /// Sessions shed under admission pressure (EDF-lowest first).
     pub sessions_shed: AtomicU64,
+    /// Sessions currently parked in the async front-end's parking lot
+    /// (a gauge: set with [`Metrics::set`], not accumulated).
+    pub sessions_parked: AtomicU64,
+    /// High-water mark of resident sessions (parked records plus
+    /// materialised in-flight sessions) — the front-end's headline
+    /// capacity number.
+    pub peak_resident_sessions: AtomicU64,
+    /// Parked records rehydrated into full sessions (frame/slot arrivals
+    /// plus backpressure re-tries).
+    pub rehydrations: AtomicU64,
+    /// Sessions parked instead of blocking a submitter thread when their
+    /// shard queue was full (`WouldBlock` backpressure).
+    pub backpressure_parks: AtomicU64,
     /// Batches formed by the gang dispatcher (one per kernel group per
     /// dispatch round; a gang of 1 never batches, so this stays 0 on the
     /// seed path).
@@ -188,6 +201,12 @@ impl Metrics {
         counter.fetch_max(value, Ordering::Relaxed);
     }
 
+    /// Sets a gauge to `value` (last write wins; used for point-in-time
+    /// levels like [`sessions_parked`](Metrics::sessions_parked)).
+    pub fn set(counter: &AtomicU64, value: u64) {
+        counter.store(value, Ordering::Relaxed);
+    }
+
     /// Records one kernel job: its measured array cycles and the object
     /// fires its configuration performed.
     pub fn record_kernel(&self, kind: KernelKind, cycles: u64, fires: u64) {
@@ -250,6 +269,10 @@ impl Metrics {
             worker_restarts: load(&self.worker_restarts),
             dead_letters: load(&self.dead_letters),
             sessions_shed: load(&self.sessions_shed),
+            sessions_parked: load(&self.sessions_parked),
+            peak_resident_sessions: load(&self.peak_resident_sessions),
+            rehydrations: load(&self.rehydrations),
+            backpressure_parks: load(&self.backpressure_parks),
             batches_dispatched: load(&self.batches_dispatched),
             batch_sessions: load(&self.batch_sessions),
             batch_warm_hits: load(&self.batch_warm_hits),
@@ -316,6 +339,14 @@ pub struct Snapshot {
     pub dead_letters: u64,
     /// Sessions shed under admission pressure.
     pub sessions_shed: u64,
+    /// Sessions currently parked in the front-end's parking lot (gauge).
+    pub sessions_parked: u64,
+    /// High-water mark of resident sessions (parked + materialised).
+    pub peak_resident_sessions: u64,
+    /// Parked records rehydrated into full sessions.
+    pub rehydrations: u64,
+    /// Sessions parked instead of blocking on a full shard queue.
+    pub backpressure_parks: u64,
     /// Batches formed by the gang dispatcher.
     pub batches_dispatched: u64,
     /// Sessions dispatched through batches.
@@ -380,6 +411,28 @@ impl Snapshot {
     /// Total object fires across all kernel classes.
     pub fn total_kernel_fires(&self) -> u64 {
         self.kernel_fires.iter().sum()
+    }
+
+    /// Fraction of started sessions shed under admission pressure, in
+    /// `[0, 1]` (0 with none started) — overload reporting wants the
+    /// *rate*, not the raw count.
+    pub fn shed_rate(&self) -> f64 {
+        if self.sessions_started == 0 {
+            0.0
+        } else {
+            self.sessions_shed as f64 / self.sessions_started as f64
+        }
+    }
+
+    /// Fraction of detected faults answered by a recovery action, in
+    /// `[0, 1]` (0 with none detected; recoveries can exceed detections
+    /// when retries stack, so the ratio is clamped to 1).
+    pub fn rescue_rate(&self) -> f64 {
+        if self.faults_detected == 0 {
+            0.0
+        } else {
+            (self.recoveries as f64 / self.faults_detected as f64).min(1.0)
+        }
     }
 
     /// Configuration-bus energy of the (demand, prefetched) load words
@@ -451,13 +504,29 @@ impl fmt::Display for Snapshot {
         )?;
         writeln!(
             f,
-            "  faults      injected {:>7}  detected  {:>8}  recoveries {:>4}  watchdog kicks {:>4}",
-            self.faults_injected, self.faults_detected, self.recoveries, self.watchdog_kicks
+            "  frontend    parked  {:>8}  peak resident {:>8}  rehydrations {:>8}  bp-parks {:>6}",
+            self.sessions_parked,
+            self.peak_resident_sessions,
+            self.rehydrations,
+            self.backpressure_parks
         )?;
         writeln!(
             f,
-            "  supervision retries {:>8}  restarts  {:>8}  dead-letters {:>4}  shed {:>4}",
-            self.session_retries, self.worker_restarts, self.dead_letters, self.sessions_shed
+            "  faults      injected {:>7}  detected  {:>8}  recoveries {:>4}  rescue rate {:>5.1}%  watchdog kicks {:>4}",
+            self.faults_injected,
+            self.faults_detected,
+            self.recoveries,
+            100.0 * self.rescue_rate(),
+            self.watchdog_kicks
+        )?;
+        writeln!(
+            f,
+            "  supervision retries {:>8}  restarts  {:>8}  dead-letters {:>4}  shed {:>4}  shed rate {:>5.1}%",
+            self.session_retries,
+            self.worker_restarts,
+            self.dead_letters,
+            self.sessions_shed,
+            100.0 * self.shed_rate()
         )?;
         writeln!(f, "  kernels")?;
         for kind in KernelKind::ALL {
@@ -537,6 +606,37 @@ mod tests {
         };
         assert!((s.avg_batch_size() - 2.5).abs() < 1e-12);
         assert!((s.bus_idle_ratio() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gauges_set_and_rates_compute() {
+        let m = Metrics::new();
+        Metrics::set(&m.sessions_parked, 100);
+        Metrics::set(&m.sessions_parked, 60);
+        assert_eq!(m.snapshot().sessions_parked, 60, "gauge is last-write");
+
+        assert_eq!(Snapshot::default().shed_rate(), 0.0);
+        assert_eq!(Snapshot::default().rescue_rate(), 0.0);
+        let s = Snapshot {
+            sessions_started: 200,
+            sessions_shed: 10,
+            faults_detected: 4,
+            recoveries: 3,
+            ..Snapshot::default()
+        };
+        assert!((s.shed_rate() - 0.05).abs() < 1e-12);
+        assert!((s.rescue_rate() - 0.75).abs() < 1e-12);
+        let clamped = Snapshot {
+            faults_detected: 2,
+            recoveries: 5,
+            ..Snapshot::default()
+        };
+        assert_eq!(clamped.rescue_rate(), 1.0, "stacked retries clamp to 1");
+        // The report renders the rates, not just the counts.
+        let text = s.to_string();
+        assert!(text.contains("shed rate"), "report must show the shed rate");
+        assert!(text.contains("rescue rate"), "report must show rescue rate");
+        assert!(text.contains("parked"), "report must show frontend gauges");
     }
 
     #[test]

@@ -418,6 +418,15 @@ pub enum SubmitError {
     Shutdown(Session),
 }
 
+impl SubmitError {
+    /// Recovers the rejected session regardless of the rejection reason.
+    pub fn into_session(self) -> Session {
+        match self {
+            SubmitError::WouldBlock(s) | SubmitError::Shutdown(s) => s,
+        }
+    }
+}
+
 impl std::fmt::Display for SubmitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -505,6 +514,7 @@ pub struct ShardPool {
     shards: Vec<ShardHandle>,
     results: Receiver<Session>,
     metrics: Arc<Metrics>,
+    queue_depth_limit: usize,
 }
 
 impl ShardPool {
@@ -574,6 +584,7 @@ impl ShardPool {
             shards,
             results,
             metrics,
+            queue_depth_limit: config.queue_depth,
         }
     }
 
@@ -626,6 +637,31 @@ impl ShardPool {
     /// `None` only after shutdown, once every worker has exited.
     pub fn recv(&self) -> Option<Session> {
         self.results.recv().ok()
+    }
+
+    /// Non-blocking receive: the next finished session if one is already
+    /// waiting, `None` otherwise. The async front-end's completion
+    /// reactor drains with this so the driving thread never blocks while
+    /// it still has runnable work.
+    pub fn try_recv(&self) -> Option<Session> {
+        self.results.try_recv().ok()
+    }
+
+    /// Blocks up to `timeout` for a finished session. `None` on timeout
+    /// or after shutdown.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Session> {
+        self.results.recv_timeout(timeout).ok()
+    }
+
+    /// Total submission capacity across every shard queue — the bound the
+    /// front-end's completion reactor enforces on in-flight sessions.
+    pub fn queue_capacity(&self) -> usize {
+        self.shards.len() * self.queue_depth_limit
+    }
+
+    /// The shared metrics registry every worker reports into.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
     }
 
     /// Pauses a shard: its worker finishes the current job, then idles.

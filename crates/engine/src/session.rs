@@ -254,6 +254,220 @@ impl Session {
     pub(crate) fn mark_dead_lettered(&mut self, reason: impl Into<String>) {
         self.state = SessionState::DeadLettered(reason.into());
     }
+
+    // -- park / resume split ------------------------------------------------
+
+    /// Shrinks the session to its compact parked form: the kernel-spec
+    /// phase, the deadline, and the handful of DSP state words needed to
+    /// resume — no sample buffers. Every capture in this engine is a pure
+    /// function of the session seed, so a parked session can drop its
+    /// received samples entirely and [`rehydrate`](Session::rehydrate)
+    /// replays them bit-identically; only the DSP decisions that the
+    /// pipeline has already *made* (the found path delay, the coarse
+    /// preamble timing) are carried across the park, so no array kernel
+    /// ever re-runs.
+    ///
+    /// Returns `None` for terminal sessions — they have nothing left to
+    /// resume into.
+    pub fn park(&self) -> Option<ParkedSession> {
+        let phase = match (&self.kind, &self.state) {
+            (Kind::Wcdma(_), SessionState::Idle) => ParkedPhase::WcdmaStart,
+            (Kind::Wcdma(_), SessionState::Searching) => ParkedPhase::WcdmaSearch,
+            (Kind::Wcdma(t), SessionState::Tracking) => ParkedPhase::WcdmaTrack {
+                delay: t.found_delay as u16,
+            },
+            (Kind::Ofdm(_), SessionState::Idle) => ParkedPhase::OfdmStart,
+            (Kind::Ofdm(_), SessionState::PreambleDetect) => ParkedPhase::OfdmDetect,
+            (Kind::Ofdm(t), SessionState::Demod) => ParkedPhase::OfdmDemod {
+                coarse: t.coarse as u32,
+            },
+            _ => return None,
+        };
+        Some(ParkedSession {
+            id: self.id,
+            seed: match &self.kind {
+                Kind::Wcdma(t) => t.seed,
+                Kind::Ofdm(t) => t.seed,
+            },
+            deadline: self.deadline,
+            phase,
+            backoff: 0,
+            attempts: self.attempts.min(u8::MAX as u32) as u8,
+        })
+    }
+
+    /// Rebuilds a full session from its parked record. The capture is
+    /// replayed from the seed (deterministic), the recorded DSP state
+    /// words are restored, and the state machine resumes exactly where it
+    /// parked — per-session kernel outcomes are bit-identical to a
+    /// never-parked run.
+    pub fn rehydrate(parked: &ParkedSession) -> Session {
+        let mut s = match parked.phase {
+            ParkedPhase::WcdmaStart | ParkedPhase::WcdmaSearch | ParkedPhase::WcdmaTrack { .. } => {
+                Session::wcdma(parked.id, parked.seed)
+            }
+            ParkedPhase::OfdmStart | ParkedPhase::OfdmDetect | ParkedPhase::OfdmDemod { .. } => {
+                Session::ofdm(parked.id, parked.seed)
+            }
+        };
+        s.deadline = parked.deadline;
+        s.attempts = parked.attempts as u32;
+        match (parked.phase, &mut s.kind) {
+            (ParkedPhase::WcdmaStart, _) | (ParkedPhase::OfdmStart, _) => {}
+            (ParkedPhase::WcdmaSearch, Kind::Wcdma(t)) => {
+                s.state = t.capture(); // -> Searching
+            }
+            (ParkedPhase::WcdmaTrack { delay }, Kind::Wcdma(t)) => {
+                let _ = t.capture();
+                t.found_delay = delay as usize;
+                s.state = SessionState::Tracking;
+            }
+            (ParkedPhase::OfdmDetect, Kind::Ofdm(t)) => {
+                s.state = t.capture(); // -> PreambleDetect
+            }
+            (ParkedPhase::OfdmDemod { coarse }, Kind::Ofdm(t)) => {
+                let _ = t.capture();
+                t.coarse = coarse as usize;
+                s.state = SessionState::Demod;
+            }
+            // The constructor above always matches the phase's standard.
+            _ => unreachable!("parked phase and rebuilt session standard always agree"),
+        }
+        s
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parked sessions
+// ---------------------------------------------------------------------------
+
+/// Which pipeline stage a parked session resumes into, plus the DSP state
+/// words that stage needs. Kept payload-minimal so [`ParkedSession`] stays
+/// a few dozen bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ParkedPhase {
+    /// W-CDMA terminal that has not captured its slot yet.
+    WcdmaStart,
+    /// W-CDMA terminal with a captured slot, path search ahead.
+    WcdmaSearch,
+    /// W-CDMA terminal tracking: the found path delay is the only DSP
+    /// state the finger needs.
+    WcdmaTrack { delay: u16 },
+    /// OFDM terminal that has not captured its frame yet.
+    OfdmStart,
+    /// OFDM terminal with a captured frame, preamble detection ahead.
+    OfdmDetect,
+    /// OFDM terminal past detection: the coarse preamble timing is the
+    /// only DSP state demodulation needs.
+    OfdmDemod { coarse: u32 },
+}
+
+/// The compact parked form of a waiting terminal: what the front-end's
+/// parking lot stores instead of a full sample-buffer-bearing
+/// [`Session`]. A few dozen bytes — id, seed, deadline, phase (with its
+/// DSP state words) and backoff/attempt counters — so millions of
+/// terminals can be resident while only the materialised few own sample
+/// buffers. See [`Session::park`] / [`Session::rehydrate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParkedSession {
+    id: u64,
+    seed: u64,
+    /// Deadline (array cycles) of the step the session resumes into; the
+    /// parking lot's wake key. The frame/slot arrival is one period
+    /// earlier ([`ParkedSession::arrival`]).
+    deadline: u64,
+    phase: ParkedPhase,
+    /// Times the session bounced off a full shard queue and was re-parked
+    /// (backpressure deferrals).
+    backoff: u8,
+    /// Crash re-dispatch attempts carried across the park.
+    attempts: u8,
+}
+
+impl ParkedSession {
+    /// Parks a not-yet-started W-CDMA terminal directly — no [`Session`]
+    /// (and no heap) is ever built for it until rehydration.
+    pub fn new_wcdma(id: u64, seed: u64, arrival: u64) -> Self {
+        ParkedSession {
+            id,
+            seed,
+            deadline: arrival + WCDMA_PERIOD_CYCLES,
+            phase: ParkedPhase::WcdmaStart,
+            backoff: 0,
+            attempts: 0,
+        }
+    }
+
+    /// Parks a not-yet-started OFDM terminal directly (heap-free).
+    pub fn new_ofdm(id: u64, seed: u64, arrival: u64) -> Self {
+        ParkedSession {
+            id,
+            seed,
+            deadline: arrival + OFDM_PERIOD_CYCLES,
+            phase: ParkedPhase::OfdmStart,
+            backoff: 0,
+            attempts: 0,
+        }
+    }
+
+    /// The terminal id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The session seed (capture replay key).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The standard the parked terminal runs.
+    pub fn standard(&self) -> Standard {
+        match self.phase {
+            ParkedPhase::WcdmaStart | ParkedPhase::WcdmaSearch | ParkedPhase::WcdmaTrack { .. } => {
+                Standard::Wcdma
+            }
+            _ => Standard::Ofdm,
+        }
+    }
+
+    /// Deadline (array cycles) of the step the session resumes into.
+    pub fn deadline(&self) -> u64 {
+        self.deadline
+    }
+
+    /// The frame/slot arrival that makes this session runnable — one
+    /// processing period before the deadline.
+    pub fn arrival(&self) -> u64 {
+        self.deadline.saturating_sub(self.period())
+    }
+
+    /// The session's processing period in array cycles.
+    pub fn period(&self) -> u64 {
+        match self.standard() {
+            Standard::Wcdma => WCDMA_PERIOD_CYCLES,
+            Standard::Ofdm => OFDM_PERIOD_CYCLES,
+        }
+    }
+
+    /// True when the record is a fresh, never-materialised terminal (no
+    /// pipeline progress, no backpressure bounces) — the only kind the
+    /// front-end's admission model charges for.
+    pub fn is_fresh(&self) -> bool {
+        self.backoff == 0 && matches!(self.phase, ParkedPhase::WcdmaStart | ParkedPhase::OfdmStart)
+    }
+
+    /// Backpressure deferrals so far.
+    pub fn backoff(&self) -> u8 {
+        self.backoff
+    }
+
+    /// Defers the wake deadline by `cycles` and records one backpressure
+    /// bounce — called instead of blocking a submitter thread when the
+    /// shard queue is full.
+    pub fn defer(&mut self, cycles: u64) {
+        self.deadline = self.deadline.saturating_add(cycles);
+        self.backoff = self.backoff.saturating_add(1);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -717,6 +931,99 @@ mod tests {
         let d0 = s.deadline();
         s.step(&mut worker);
         assert_eq!(s.deadline(), d0 + WCDMA_PERIOD_CYCLES);
+    }
+
+    /// Park/rehydrate at *every* pipeline stage must not change the
+    /// terminal outcome or the per-kernel job counts — the front-end's
+    /// core invariant (parking drops sample buffers; rehydration replays
+    /// them bit-identically from the seed).
+    #[test]
+    fn park_rehydrate_roundtrip_preserves_outcomes() {
+        type Maker = fn(u64, u64) -> Session;
+        let makers: [(Maker, usize); 2] = [(Session::wcdma, 3), (Session::ofdm, 3)];
+        for (make, steps) in makers {
+            let metrics = Arc::new(Metrics::new());
+            let mut worker = WorkerArray::new(8, Arc::clone(&metrics));
+            // Reference: never parked.
+            let mut reference = make(9, 1234);
+            drive_to_terminal(&mut reference, &mut worker);
+            assert_eq!(*reference.state(), SessionState::Done);
+            let ref_snap = metrics.snapshot();
+
+            // Same terminal, parked and rehydrated between every step.
+            let metrics = Arc::new(Metrics::new());
+            let mut worker = WorkerArray::new(8, Arc::clone(&metrics));
+            let mut s = make(9, 1234);
+            for _ in 0..steps {
+                let parked = s.park().expect("non-terminal sessions park");
+                assert_eq!(parked.id(), 9);
+                s = Session::rehydrate(&parked);
+                s.step(&mut worker);
+            }
+            assert_eq!(*s.state(), SessionState::Done, "parked run diverged");
+            let snap = metrics.snapshot();
+            assert_eq!(
+                snap.kernel_jobs, ref_snap.kernel_jobs,
+                "rehydration must not re-run or skip any array kernel"
+            );
+        }
+    }
+
+    #[test]
+    fn parked_record_is_compact_and_terminal_sessions_do_not_park() {
+        // The pinned footprint budget: a parked session is a few dozen
+        // bytes, never a sample buffer. Bumping this requires a
+        // corresponding BENCH_SCALE.json / DESIGN.md §13 update.
+        assert!(
+            std::mem::size_of::<ParkedSession>() <= 48,
+            "ParkedSession grew past the 48-byte budget: {} bytes",
+            std::mem::size_of::<ParkedSession>()
+        );
+        let metrics = Arc::new(Metrics::new());
+        let mut worker = WorkerArray::new(8, metrics);
+        let mut s = Session::ofdm(1, 7);
+        drive_to_terminal(&mut s, &mut worker);
+        assert!(s.park().is_none(), "terminal sessions have nothing to park");
+    }
+
+    #[test]
+    fn fresh_parked_records_defer_and_track_backoff() {
+        let mut p = ParkedSession::new_wcdma(3, 42, 1_000);
+        assert_eq!(p.arrival(), 1_000);
+        assert_eq!(p.deadline(), 1_000 + WCDMA_PERIOD_CYCLES);
+        assert_eq!(p.standard(), Standard::Wcdma);
+        assert!(p.is_fresh());
+        p.defer(500);
+        assert_eq!(p.backoff(), 1);
+        assert!(!p.is_fresh(), "a bounced record is no longer model-fresh");
+        assert_eq!(p.deadline(), 1_000 + WCDMA_PERIOD_CYCLES + 500);
+
+        // Rehydrating a fresh record yields a session at Idle with the
+        // parked deadline.
+        let s = Session::rehydrate(&p);
+        assert_eq!(*s.state(), SessionState::Idle);
+        assert_eq!(s.deadline(), p.deadline());
+        assert_eq!(s.id(), 3);
+
+        let o = ParkedSession::new_ofdm(4, 7, 0);
+        assert_eq!(o.standard(), Standard::Ofdm);
+        assert_eq!(o.period(), OFDM_PERIOD_CYCLES);
+        assert_eq!(o.seed(), 7);
+    }
+
+    #[test]
+    fn mid_pipeline_park_carries_dsp_state_words() {
+        let metrics = Arc::new(Metrics::new());
+        let mut worker = WorkerArray::new(8, metrics);
+        let mut s = Session::wcdma(5, 42);
+        s.step(&mut worker); // Idle -> Searching
+        s.step(&mut worker); // Searching -> Tracking (found_delay set)
+        let parked = s.park().expect("tracking sessions park");
+        assert!(!parked.is_fresh(), "mid-pipeline records are not fresh");
+        let mut back = Session::rehydrate(&parked);
+        assert_eq!(*back.state(), SessionState::Tracking);
+        back.step(&mut worker);
+        assert_eq!(*back.state(), SessionState::Done, "delay word survived");
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! Parked-session footprint guarantees, enforced with a counting global
+//! allocator (same pattern as `crates/xpp/tests/alloc_steady_state.rs`):
+//!
+//! * a parked record stays under a pinned `size_of` budget (48 bytes —
+//!   actual layout is 40);
+//! * parking an idle session into a preallocated lot performs **zero**
+//!   heap allocations — a million waiting terminals cost exactly the
+//!   lot's preallocated slab, nothing per-park;
+//! * the per-parked-session heap footprint at full occupancy stays
+//!   under the 64-byte budget `BENCH_SCALE.json` reports against.
+//!
+//! This file intentionally contains a single test: the allocation
+//! counter is process-global, and a concurrently running test would make
+//! the measurement window non-quiet.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use sdr_engine::frontend::parking::ParkingLot;
+use sdr_engine::{ParkedSession, Session};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// Pinned budgets. A `ParkedSession` is "a few dozen bytes": id + seed +
+/// deadline (3 x u64), the phase tag with its DSP state words, and two
+/// backoff/attempt counters. The heap budget leaves headroom for the
+/// `BinaryHeap` growth policy (capacity may exceed length by up to 2x).
+const RECORD_SIZE_BUDGET: usize = 48;
+const HEAP_BYTES_PER_PARKED_BUDGET: f64 = 64.0;
+
+#[test]
+fn parking_is_allocation_free_and_records_stay_compact() {
+    // The record itself stays under the pinned budget.
+    assert!(
+        std::mem::size_of::<ParkedSession>() <= RECORD_SIZE_BUDGET,
+        "ParkedSession grew past its {RECORD_SIZE_BUDGET}-byte budget \
+         (now {} bytes)",
+        std::mem::size_of::<ParkedSession>()
+    );
+
+    const N: usize = 100_000;
+    // One up-front slab; every park below must reuse it.
+    let mut lot = ParkingLot::with_capacity(N);
+
+    // Park a full session's worth of state too: a mid-pipeline session
+    // shrinks to the same compact record.
+    let session = Session::wcdma(7, 1234);
+    let parked_mid = session.park().expect("non-terminal sessions park");
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    lot.park(parked_mid);
+    for id in 0..(N as u64 - 1) {
+        let rec = if id % 2 == 0 {
+            ParkedSession::new_wcdma(id, id * 3, id * 100)
+        } else {
+            ParkedSession::new_ofdm(id, id * 5, id * 100)
+        };
+        lot.park(rec);
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "parking {N} sessions into a preallocated lot must not allocate \
+         ({} heap allocations observed)",
+        after - before
+    );
+    assert_eq!(lot.len(), N);
+
+    // At full occupancy the heap footprint per parked terminal is under
+    // the reporting budget.
+    let per = lot.bytes_per_parked().expect("lot is non-empty");
+    assert!(
+        per <= HEAP_BYTES_PER_PARKED_BUDGET,
+        "bytes/parked-session {per:.1} exceeds the {HEAP_BYTES_PER_PARKED_BUDGET} budget"
+    );
+
+    // Popping back out is allocation-free too.
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let mut drained = 0usize;
+    while lot.pop_earliest().is_some() {
+        drained += 1;
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(drained, N);
+    assert_eq!(after - before, 0, "draining the lot must not allocate");
+}

@@ -1,89 +1,142 @@
-//! Base-station style multi-terminal run: N concurrent terminal sessions
-//! (alternating W-CDMA rake and 802.11a OFDM) time-sliced over M worker
-//! shards, each shard owning a gang of one or more simulated XPP arrays.
+//! Base-station style multi-terminal run: N terminal sessions
+//! (alternating W-CDMA rake and 802.11a OFDM) arriving as a Poisson
+//! process and driven through the engine's async session front-end —
+//! every waiting terminal is parked as a ~40-byte record and only a
+//! bounded window is ever materialised over the worker shards.
 //!
 //! Every OFDM terminal exercises the paper's Fig. 10 runtime
 //! reconfiguration (detector out, demodulator in) and every W-CDMA
 //! terminal runs its descrambler/despreader on cached configurations, so
-//! the final metrics show nonzero reconfiguration and cache-hit counts.
-//! With more than one array per shard the batching dispatcher groups
-//! each round's sessions by kernel and runs the groups on warm members —
-//! the `batching` and `arrays` metric lines show it working.
+//! the final metrics show nonzero reconfiguration and cache-hit counts;
+//! the `frontend` metrics line shows the parking lot working.
 //!
 //! Usage:
-//! `cargo run --release --example basestation [sessions] [shards] [arrays-per-shard]`
-//! (defaults: 64 sessions, 4 shards, 1 array per shard).
+//! `cargo run --release --example basestation [--sessions N] [--shards M]
+//!  [--arrays-per-shard K] [--arrival-rate R]`
+//! where `R` is mean terminal arrivals per second at the 50 MHz modeled
+//! array clock (defaults: 64 sessions, 4 shards, 1 array per shard,
+//! 4000/s). Bare positional arguments `[sessions] [shards]
+//! [arrays-per-shard]` are still accepted.
 
-use xpp_sdr::engine::{Engine, EngineConfig, Session, SessionState};
+use xpp_sdr::dsp::rng::Rng64;
+use xpp_sdr::engine::frontend::{Frontend, FrontendConfig};
+use xpp_sdr::engine::{ParkedSession, Session};
 
-fn main() {
-    let mut args = std::env::args().skip(1);
-    let sessions: u64 = args
-        .next()
-        .map(|a| a.parse().expect("sessions must be a number"))
-        .unwrap_or(64);
-    let shards: usize = args
-        .next()
-        .map(|a| a.parse().expect("shards must be a number"))
-        .unwrap_or(4);
-    let arrays_per_shard: usize = args
-        .next()
-        .map(|a| a.parse().expect("arrays-per-shard must be a number"))
-        .unwrap_or(1);
+/// Modeled array clock used to convert `--arrival-rate` (terminals/s)
+/// into array-cycle interarrivals (BENCH_ARRAY.json's convention).
+const ARRAY_CLOCK_HZ: f64 = 50.0e6;
 
-    println!(
-        "basestation: {sessions} terminal sessions over {shards} shards \
-         x {arrays_per_shard} arrays"
-    );
-    let mut engine = Engine::new(EngineConfig {
-        shards,
-        arrays_per_shard,
-        ..EngineConfig::default()
-    });
+struct Args {
+    sessions: u64,
+    shards: usize,
+    arrays_per_shard: usize,
+    /// Mean arrivals per second at the modeled array clock.
+    arrival_rate: f64,
+}
 
-    let batch: Vec<Session> = (0..sessions)
-        .map(|id| {
-            if id % 2 == 0 {
-                Session::wcdma(id, 0xB5E + id)
+fn parse_args() -> Args {
+    let mut args = Args {
+        sessions: 64,
+        shards: 4,
+        arrays_per_shard: 1,
+        arrival_rate: 4000.0,
+    };
+    let mut positional = 0usize;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut flag = |name: &str| -> Option<String> {
+            if arg == name {
+                Some(it.next().unwrap_or_else(|| {
+                    eprintln!("{name} needs a value");
+                    std::process::exit(2);
+                }))
             } else {
-                Session::ofdm(id, 0x0FD + id)
+                None
             }
-        })
-        .collect();
-    let summary = engine.run(batch);
-
-    for (shard, report) in summary.admission.iter().enumerate() {
-        println!(
-            "shard {shard}: offered utilization {:5.1}%  edf-feasible {}",
-            100.0 * report.utilization(),
-            report.feasible()
-        );
-    }
-    println!("{}", summary.snapshot);
-
-    println!(
-        "done {}  failed {}  shed {}  dead-lettered {}",
-        summary.done(),
-        summary.failed(),
-        summary.shed(),
-        summary.dead_lettered()
-    );
-    for s in &summary.completed {
-        match s.state() {
-            SessionState::Failed(reason) => {
-                eprintln!("session {} ({:?}) failed: {reason}", s.id(), s.standard());
+        };
+        if let Some(v) = flag("--sessions") {
+            args.sessions = v.parse().expect("--sessions must be a number");
+        } else if let Some(v) = flag("--shards") {
+            args.shards = v.parse().expect("--shards must be a number");
+        } else if let Some(v) = flag("--arrays-per-shard") {
+            args.arrays_per_shard = v.parse().expect("--arrays-per-shard must be a number");
+        } else if let Some(v) = flag("--arrival-rate") {
+            args.arrival_rate = v.parse().expect("--arrival-rate must be a number");
+        } else {
+            // Legacy positional form: sessions shards arrays-per-shard.
+            match positional {
+                0 => args.sessions = arg.parse().expect("sessions must be a number"),
+                1 => args.shards = arg.parse().expect("shards must be a number"),
+                2 => {
+                    args.arrays_per_shard = arg.parse().expect("arrays-per-shard must be a number")
+                }
+                _ => {
+                    eprintln!("unexpected argument: {arg}");
+                    std::process::exit(2);
+                }
             }
-            SessionState::DeadLettered(reason) => {
-                eprintln!(
-                    "session {} ({:?}) dead-lettered: {reason}",
-                    s.id(),
-                    s.standard()
-                );
-            }
-            _ => {}
+            positional += 1;
         }
     }
-    if summary.failed() > 0 || summary.dead_lettered() > 0 {
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let mean_interarrival = ARRAY_CLOCK_HZ / args.arrival_rate;
+    println!(
+        "basestation: {} terminal sessions over {} shards x {} arrays, \
+         Poisson arrivals at {}/s ({:.0} cycles mean interarrival)",
+        args.sessions, args.shards, args.arrays_per_shard, args.arrival_rate, mean_interarrival
+    );
+
+    let mut fe = Frontend::new(FrontendConfig {
+        shards: args.shards,
+        arrays_per_shard: args.arrays_per_shard,
+        parking_capacity: args.sessions as usize,
+        ..FrontendConfig::default()
+    });
+
+    // Admit every terminal up front as a compact parked record; the
+    // front-end materialises them in deadline order as capacity frees.
+    let mut rng = Rng64::seed_from_u64(0xBA5E);
+    let mut arrival = 0u64;
+    for id in 0..args.sessions {
+        let u = rng.next_f64().max(1e-12);
+        arrival += (-mean_interarrival * u.ln()).ceil() as u64;
+        let record = if id % 2 == 0 {
+            ParkedSession::new_wcdma(id, 0xB5E + id, arrival)
+        } else {
+            ParkedSession::new_ofdm(id, 0x0FD + id, arrival)
+        };
+        fe.admit(record);
+    }
+
+    let summary = fe.run(&mut |_: &Session, _| None);
+
+    println!("{}", summary.snapshot);
+    println!(
+        "peak resident {} sessions ({} peak parked, materialisation window {})",
+        summary.peak_resident,
+        summary.peak_parked,
+        FrontendConfig::default().max_resident
+    );
+    match summary.p99_slack() {
+        Some(slack) => println!(
+            "p99 deadline slack {slack} cycles (min {}), shed rate {:.1}%",
+            summary.min_slack().unwrap_or(slack),
+            100.0 * summary.shed_rate()
+        ),
+        None => println!("p99 deadline slack n/a (no frames admitted)"),
+    }
+    println!(
+        "done {}  failed {}  shed {}  dead-lettered {}",
+        summary.done,
+        summary.failed,
+        summary.shed.len(),
+        summary.dead_lettered
+    );
+    if summary.failed > 0 || summary.dead_lettered > 0 {
         std::process::exit(1);
     }
 }
